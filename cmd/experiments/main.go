@@ -1,0 +1,49 @@
+// Command experiments regenerates the tables and figures of the paper's
+// evaluation section. Select a single experiment with -exp or run all.
+//
+//	go run ./cmd/experiments            # everything
+//	go run ./cmd/experiments -exp fig8  # one figure
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+)
+
+import "plum/internal/experiments"
+
+func main() {
+	exp := flag.String("exp", "all", "experiment to run: table1, fig8, fig9, fig10, fig11, fig12, extension, all")
+	flag.Parse()
+
+	runners := []struct {
+		name string
+		run  func() fmt.Stringer
+	}{
+		{"table1", func() fmt.Stringer { return experiments.RunTable1() }},
+		{"fig8", func() fmt.Stringer { return experiments.RunFig8() }},
+		{"fig9", func() fmt.Stringer { return experiments.RunFig9() }},
+		{"fig10", func() fmt.Stringer { return experiments.RunFig10() }},
+		{"fig11", func() fmt.Stringer { return experiments.RunFig11() }},
+		{"fig12", func() fmt.Stringer { return experiments.RunFig12() }},
+		{"extension", func() fmt.Stringer { return experiments.RunExtensionRepeated(8, 6) }},
+	}
+
+	ran := false
+	for _, r := range runners {
+		if *exp != "all" && *exp != r.name {
+			continue
+		}
+		ran = true
+		t0 := time.Now()
+		out := r.run()
+		fmt.Println(out)
+		fmt.Printf("[%s regenerated in %v]\n\n", r.name, time.Since(t0).Round(time.Millisecond))
+	}
+	if !ran {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
+		os.Exit(2)
+	}
+}

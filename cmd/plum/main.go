@@ -1,0 +1,149 @@
+// Command plum runs the full PLUM pipeline of the paper's Fig. 1 — flow
+// solution, mesh adaption, preliminary evaluation, repartitioning,
+// processor reassignment, gain/cost decision, and remapping — for a
+// configurable number of cycles on the rotor-disk mesh, printing one
+// report line per cycle.
+//
+//	go run ./cmd/plum -p 16 -cycles 3 -strategy local1
+//	go run ./cmd/plum -p 64 -f 4 -mapper optimal -partitioner spectral
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math"
+	"os"
+
+	"plum/internal/adapt"
+	"plum/internal/core"
+	"plum/internal/geom"
+	"plum/internal/meshgen"
+	"plum/internal/partition"
+	"plum/internal/solver"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("plum: ")
+
+	var (
+		p       = flag.Int("p", 8, "number of processors")
+		f       = flag.Int("f", 1, "partitions per processor (granularity factor)")
+		cycles  = flag.Int("cycles", 3, "solution/adaption cycles to run")
+		strat   = flag.String("strategy", "local1", "edge-marking strategy: local1, local2, random, error")
+		thresh  = flag.Float64("threshold", 1.2, "imbalance threshold Wmax/Wavg for repartitioning")
+		mapper  = flag.String("mapper", "heuristic", "processor reassignment: heuristic, optimal")
+		parter  = flag.String("partitioner", "multilevel", "repartitioner: graphgrow, inertial, spectral, multilevel")
+		seed    = flag.Int64("seed", 1, "random seed")
+		scale   = flag.Float64("scale", 1.0, "mesh scale factor (1.0 = paper's 61k elements)")
+		verbose = flag.Bool("v", false, "print adaption phase breakdowns")
+	)
+	flag.Parse()
+
+	cfg := core.DefaultConfig(*p)
+	cfg.F = *f
+	cfg.ImbalanceThreshold = *thresh
+	cfg.Seed = *seed
+	switch *mapper {
+	case "heuristic":
+		cfg.Mapper = core.MapperHeuristic
+	case "optimal":
+		cfg.Mapper = core.MapperOptimal
+	default:
+		log.Fatalf("unknown mapper %q", *mapper)
+	}
+	switch *parter {
+	case "graphgrow":
+		cfg.Method = partition.MethodGraphGrow
+	case "inertial":
+		cfg.Method = partition.MethodInertial
+	case "spectral":
+		cfg.Method = partition.MethodSpectral
+	case "multilevel":
+		cfg.Method = partition.MethodMultilevel
+	default:
+		log.Fatalf("unknown partitioner %q", *parter)
+	}
+
+	rp := meshgen.DefaultRotor()
+	if *scale != 1.0 {
+		s := math.Cbrt(*scale)
+		rp.NR = maxInt(2, int(float64(rp.NR)*s))
+		rp.NTheta = maxInt(2, int(float64(rp.NTheta)*s))
+		rp.NZ = maxInt(2, int(float64(rp.NZ)*s))
+	}
+	m := meshgen.RotorDisk(rp)
+	// Feature at the mid-radius, mid-sweep point of the annulus (the
+	// blade-tip region of the acoustics experiment).
+	r := (rp.R0 + rp.R1) / 2
+	th := rp.Sweep / 2
+	feature := geom.Vec3{X: r * math.Cos(th), Y: r * math.Sin(th)}
+	sol := solver.New(m, solver.GaussianPulse(feature, 0.3))
+	fw, err := core.New(m, sol, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("mesh: %s\n", m.Stats())
+	fmt.Printf("config: P=%d F=%d threshold=%.2f mapper=%s partitioner=%s\n",
+		cfg.P, cfg.F, cfg.ImbalanceThreshold, cfg.Mapper, cfg.Method)
+
+	var stratFn func(a *adapt.Adaptor)
+	switch *strat {
+	case "local1":
+		stratFn = func(a *adapt.Adaptor) { a.MarkStrategyRefine(adapt.Local1, cfg.Seed) }
+	case "local2":
+		stratFn = func(a *adapt.Adaptor) { a.MarkStrategyRefine(adapt.Local2, cfg.Seed) }
+	case "random":
+		stratFn = func(a *adapt.Adaptor) { a.MarkStrategyRefine(adapt.Random, cfg.Seed) }
+	case "error":
+		stratFn = func(a *adapt.Adaptor) {
+			errv := sol.EdgeError()
+			hi := 0.0
+			for _, e := range errv {
+				if e > hi {
+					hi = e
+				}
+			}
+			a.MarkError(errv, 0.4*hi, -1)
+		}
+	default:
+		log.Fatalf("unknown strategy %q", *strat)
+	}
+
+	for c := 1; c <= *cycles; c++ {
+		rep, err := fw.Cycle(stratFn)
+		if err != nil {
+			log.Fatal(err)
+		}
+		b := rep.Balance
+		fmt.Printf("cycle %d: elems=%d refined=%d adaptT=%.3fs imb %.2f",
+			c, m.NumActiveElems(), rep.Refine.TotalSubdivided(), rep.AdaptTime.Total, b.ImbalanceBefore)
+		switch {
+		case !b.Repartitioned:
+			fmt.Printf(" (balanced, no repartition)\n")
+		case !b.Accepted:
+			fmt.Printf(" -> repartitioned, remap REJECTED (gain %.3g ≤ cost %.3g)\n", b.Gain, b.Cost)
+		default:
+			fmt.Printf(" -> %.2f, moved %d elems in %d sets (gain %.3g > cost %.3g), remapT=%.3fs\n",
+				b.ImbalanceAfter, b.MoveC, b.MoveN, b.Gain, b.Cost, b.Remap.Total)
+		}
+		if *verbose {
+			fmt.Printf("         target=%.4f propagate=%.4f execute=%.4f classify=%.4f rounds=%d msgs=%d\n",
+				rep.AdaptTime.Target, rep.AdaptTime.Propagate, rep.AdaptTime.Execute,
+				rep.AdaptTime.Classify, rep.AdaptTime.CommRounds, rep.AdaptTime.Msgs)
+		}
+	}
+	if err := m.Check(); err != nil {
+		fmt.Fprintf(os.Stderr, "FINAL MESH INVALID: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("final mesh valid: %s\n", m.Stats())
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

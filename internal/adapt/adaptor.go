@@ -1,0 +1,105 @@
+package adapt
+
+import "plum/internal/mesh"
+
+// Mark is the per-edge adaption target of the paper: each edge is targeted
+// for subdivision, for removal, or left alone, based on an error indicator
+// computed from the flow solution.
+type Mark uint8
+
+// Edge marks.
+const (
+	MarkNone Mark = iota
+	MarkRefine
+	MarkCoarsen
+)
+
+// Adaptor drives 3D_TAG mesh adaption on a Mesh: callers set edge marks
+// (directly or through the strategy helpers), then invoke Refine and/or
+// Coarsen.
+type Adaptor struct {
+	M *mesh.Mesh
+
+	marks []Mark
+}
+
+// New returns an Adaptor for m with no edges marked.
+func New(m *mesh.Mesh) *Adaptor {
+	return &Adaptor{M: m, marks: make([]Mark, len(m.Edges))}
+}
+
+func (a *Adaptor) ensure(e mesh.EdgeID) {
+	for int(e) >= len(a.marks) {
+		a.marks = append(a.marks, MarkNone)
+	}
+}
+
+// SetMark sets the mark of edge e.
+func (a *Adaptor) SetMark(e mesh.EdgeID, mk Mark) {
+	a.ensure(e)
+	a.marks[e] = mk
+}
+
+// MarkOf returns the current mark of edge e.
+func (a *Adaptor) MarkOf(e mesh.EdgeID) Mark {
+	if int(e) >= len(a.marks) {
+		return MarkNone
+	}
+	return a.marks[e]
+}
+
+// NumMarked returns how many edges currently carry mark mk.
+func (a *Adaptor) NumMarked(mk Mark) int {
+	n := 0
+	for _, m := range a.marks {
+		if m == mk {
+			n++
+		}
+	}
+	return n
+}
+
+// MarksSnapshot exposes the per-edge mark array (indexed by EdgeID) for
+// read-only inspection by the distributed layer. Callers must not mutate
+// it; use SetMark.
+func (a *Adaptor) MarksSnapshot() []Mark { return a.marks }
+
+// ClearMarks resets every edge mark to MarkNone.
+func (a *Adaptor) ClearMarks() {
+	for i := range a.marks {
+		a.marks[i] = MarkNone
+	}
+}
+
+// clearMark resets marks equal to mk.
+func (a *Adaptor) clearMark(mk Mark) {
+	for i := range a.marks {
+		if a.marks[i] == mk {
+			a.marks[i] = MarkNone
+		}
+	}
+}
+
+// activeEdge reports whether e is a live, unbisected edge (markable).
+func (a *Adaptor) activeEdge(e mesh.EdgeID) bool {
+	ed := &a.M.Edges[e]
+	return !ed.Dead && !ed.Bisected()
+}
+
+// Compact forwards to the mesh's compaction and remaps the mark array
+// (paper: "objects are renumbered as a result of compaction and all
+// internal and shared data are updated accordingly").
+func (a *Adaptor) Compact() mesh.CompactMap {
+	cm := a.M.Compact()
+	remapped := make([]Mark, len(a.M.Edges))
+	for old, mk := range a.marks {
+		if mk == MarkNone {
+			continue
+		}
+		if ne := cm.Edge[old]; ne != mesh.InvalidEdge {
+			remapped[ne] = mk
+		}
+	}
+	a.marks = remapped
+	return cm
+}

@@ -1,0 +1,43 @@
+package adapt_test
+
+import (
+	"fmt"
+
+	"plum/internal/adapt"
+	"plum/internal/geom"
+	"plum/internal/meshgen"
+)
+
+// Example demonstrates the basic 3D_TAG adaption loop: mark edges inside a
+// region, refine, then coarsen everything back.
+func Example() {
+	m := meshgen.UnitCube()
+	a := adapt.New(m)
+
+	a.MarkRegion(geom.All{}, adapt.MarkRefine)
+	st := a.Refine()
+	fmt.Println("subdivided:", st.TotalSubdivided(), "elements ->", m.NumActiveElems())
+
+	a.MarkRegion(geom.All{}, adapt.MarkCoarsen)
+	a.Coarsen()
+	fmt.Println("coarsened back to:", m.NumActiveElems())
+
+	// Output:
+	// subdivided: 6 elements -> 48
+	// coarsened back to: 6
+}
+
+// ExamplePattern_Upgrade shows the element-upgrade rule: two marked edges
+// of one face upgrade to the full 1:4 face pattern.
+func ExamplePattern_Upgrade() {
+	p := adapt.EdgeBit(0) | adapt.EdgeBit(1) // edges (0,1) and (0,2): face (0,1,2)
+	up := p.Upgrade()
+	fmt.Printf("%06b -> %06b (%s)\n", p, up, up.Kind())
+
+	q := adapt.EdgeBit(0) | adapt.EdgeBit(5) // opposite edges: isotropic
+	fmt.Printf("%06b -> %06b (%s)\n", q, q.Upgrade(), q.Upgrade().Kind())
+
+	// Output:
+	// 000011 -> 001011 (1:4)
+	// 100001 -> 111111 (1:8)
+}

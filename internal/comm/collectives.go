@@ -1,0 +1,84 @@
+package comm
+
+// Additional collectives used by the finalization phase (global numbering)
+// and general SPMD bookkeeping.
+
+const (
+	tagBroadcast = -2000 - iota
+	tagScan
+	tagReduceRoot
+)
+
+// Bcast distributes root's slice to every rank (binomial tree) and returns
+// it; ranks other than root ignore their vals argument.
+func (c *Comm) Bcast(root int, vals []int64) []int64 {
+	p := c.w.p
+	if p == 1 {
+		return append([]int64(nil), vals...)
+	}
+	// Rotate ranks so the root is virtual rank 0.
+	vr := (c.rank - root + p) % p
+	var data []int64
+	if vr == 0 {
+		data = append([]int64(nil), vals...)
+	} else {
+		// Receive from the parent in the binomial tree.
+		mask := 1
+		for mask < p {
+			if vr&mask != 0 {
+				src := ((vr - mask) + root) % p
+				data, _ = c.Recv(src, tagBroadcast)
+				break
+			}
+			mask <<= 1
+		}
+	}
+	// Forward to children.
+	mask := 1
+	for mask < p {
+		if vr&mask != 0 {
+			break
+		}
+		mask <<= 1
+	}
+	for child := mask >> 1; child > 0; child >>= 1 {
+		if vr+child < p {
+			dst := ((vr + child) + root) % p
+			c.Send(dst, tagBroadcast, data)
+		}
+	}
+	return data
+}
+
+// Reduce combines vals elementwise onto root (nil elsewhere).
+func (c *Comm) Reduce(root int, vals []int64, op Op) []int64 {
+	if c.rank != root {
+		c.Send(root, tagReduceRoot, vals)
+		return nil
+	}
+	res := append([]int64(nil), vals...)
+	for i := 0; i < c.w.p-1; i++ {
+		d, _ := c.Recv(AnySource, tagReduceRoot)
+		for j := range res {
+			res[j] = op.apply(res[j], d[j])
+		}
+	}
+	return res
+}
+
+// ExScan returns the exclusive prefix sum of each element of vals over the
+// rank order: rank r receives Σ_{q<r} vals_q (zeros on rank 0). This is
+// the collective behind globally consistent object numbering in the
+// finalization phase.
+func (c *Comm) ExScan(vals []int64) []int64 {
+	// Simple two-phase implementation: gather on rank 0, scan, scatter.
+	// P is small (≤64 here) so the linear algorithm is fine.
+	all := c.Allgather(vals)
+	out := make([]int64, len(vals))
+	for q := 0; q < c.rank; q++ {
+		for j := range out {
+			out[j] += all[q][j]
+		}
+	}
+	return out
+}

@@ -1,0 +1,69 @@
+package comm
+
+import "testing"
+
+func TestBcast(t *testing.T) {
+	for _, p := range []int{1, 2, 3, 4, 7, 8} {
+		for root := 0; root < p; root += 2 {
+			w := NewWorld(p)
+			w.Run(func(c *Comm) {
+				var in []int64
+				if c.Rank() == root {
+					in = []int64{42, int64(root)}
+				}
+				out := c.Bcast(root, in)
+				if out[0] != 42 || out[1] != int64(root) {
+					t.Errorf("P=%d root=%d rank=%d: got %v", p, root, c.Rank(), out)
+				}
+			})
+		}
+	}
+}
+
+func TestReduce(t *testing.T) {
+	p := 5
+	w := NewWorld(p)
+	w.Run(func(c *Comm) {
+		out := c.Reduce(2, []int64{int64(c.Rank()), 1}, OpSum)
+		if c.Rank() == 2 {
+			if out[0] != 10 || out[1] != int64(p) {
+				t.Errorf("Reduce = %v", out)
+			}
+		} else if out != nil {
+			t.Errorf("non-root got %v", out)
+		}
+	})
+}
+
+func TestExScan(t *testing.T) {
+	for _, p := range []int{1, 2, 4, 6} {
+		w := NewWorld(p)
+		w.Run(func(c *Comm) {
+			out := c.ExScan([]int64{int64(c.Rank() + 1)})
+			// rank r gets Σ_{q<r}(q+1) = r(r+1)/2.
+			want := int64(c.Rank() * (c.Rank() + 1) / 2)
+			if out[0] != want {
+				t.Errorf("P=%d rank %d: ExScan = %d, want %d", p, c.Rank(), out[0], want)
+			}
+		})
+	}
+}
+
+func TestBcastLargePayload(t *testing.T) {
+	p := 8
+	payload := make([]int64, 10000)
+	for i := range payload {
+		payload[i] = int64(i * 3)
+	}
+	w := NewWorld(p)
+	w.Run(func(c *Comm) {
+		var in []int64
+		if c.Rank() == 0 {
+			in = payload
+		}
+		out := c.Bcast(0, in)
+		if len(out) != len(payload) || out[9999] != payload[9999] {
+			t.Errorf("rank %d: payload corrupted", c.Rank())
+		}
+	})
+}

@@ -1,0 +1,314 @@
+// Package comm is the message-passing runtime that stands in for MPI: a
+// World of P ranks executing SPMD functions on goroutines, point-to-point
+// sends with (source, tag) matching, and the collectives the parallel mesh
+// adaption needs (Barrier, Allreduce, Allgather, Alltoallv, Gather). All
+// communication is by value over in-process queues — ranks share no
+// mutable state, matching the distributed-memory discipline of the paper's
+// C++/MPI implementation.
+//
+// Every rank records traffic counters (messages and words sent) so the
+// machine model can translate a run's communication pattern into SP2-class
+// time.
+package comm
+
+import (
+	"fmt"
+	"sync"
+)
+
+// message is one in-flight point-to-point payload.
+type message struct {
+	src, tag int
+	data     []int64
+}
+
+// mailbox is a rank's incoming queue with (src, tag) matching.
+type mailbox struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+	q    []message
+}
+
+func newMailbox() *mailbox {
+	mb := &mailbox{}
+	mb.cond = sync.NewCond(&mb.mu)
+	return mb
+}
+
+func (mb *mailbox) put(m message) {
+	mb.mu.Lock()
+	mb.q = append(mb.q, m)
+	mb.cond.Signal()
+	mb.mu.Unlock()
+}
+
+func (mb *mailbox) get(src, tag int) message {
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	for {
+		for i, m := range mb.q {
+			if (src == AnySource || m.src == src) && m.tag == tag {
+				mb.q = append(mb.q[:i], mb.q[i+1:]...)
+				return m
+			}
+		}
+		mb.cond.Wait()
+	}
+}
+
+// AnySource matches a message from any rank in Recv.
+const AnySource = -1
+
+// World is a communicator of P ranks.
+type World struct {
+	p     int
+	boxes []*mailbox
+
+	barrierMu  sync.Mutex
+	barrierCnt int
+	barrierGen int
+	barrierCv  *sync.Cond
+
+	statsMu sync.Mutex
+	stats   []Stats
+}
+
+// Stats counts a rank's outgoing traffic.
+type Stats struct {
+	Msgs  int64
+	Words int64
+}
+
+// NewWorld creates a communicator with p ranks.
+func NewWorld(p int) *World {
+	w := &World{p: p, boxes: make([]*mailbox, p), stats: make([]Stats, p)}
+	for i := range w.boxes {
+		w.boxes[i] = newMailbox()
+	}
+	w.barrierCv = sync.NewCond(&w.barrierMu)
+	return w
+}
+
+// P returns the number of ranks.
+func (w *World) P() int { return w.p }
+
+// Run executes f on every rank concurrently and returns when all ranks
+// finish. A panic on any rank is re-raised on the caller.
+func (w *World) Run(f func(c *Comm)) {
+	var wg sync.WaitGroup
+	panics := make([]any, w.p)
+	for r := 0; r < w.p; r++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			defer func() {
+				if e := recover(); e != nil {
+					panics[rank] = e
+				}
+			}()
+			f(&Comm{w: w, rank: rank})
+		}(r)
+	}
+	wg.Wait()
+	for r, e := range panics {
+		if e != nil {
+			panic(fmt.Sprintf("comm: rank %d panicked: %v", r, e))
+		}
+	}
+}
+
+// RankStats returns the accumulated traffic counters per rank.
+func (w *World) RankStats() []Stats {
+	w.statsMu.Lock()
+	defer w.statsMu.Unlock()
+	return append([]Stats(nil), w.stats...)
+}
+
+// ResetStats zeroes the traffic counters.
+func (w *World) ResetStats() {
+	w.statsMu.Lock()
+	defer w.statsMu.Unlock()
+	for i := range w.stats {
+		w.stats[i] = Stats{}
+	}
+}
+
+// Comm is one rank's handle on the World.
+type Comm struct {
+	w    *World
+	rank int
+}
+
+// Rank returns this rank's id in [0, P).
+func (c *Comm) Rank() int { return c.rank }
+
+// P returns the communicator size.
+func (c *Comm) P() int { return c.w.p }
+
+// Send delivers a copy of data to dst with the given tag. It never blocks
+// (buffered semantics, like MPI_Isend with guaranteed buffering).
+func (c *Comm) Send(dst, tag int, data []int64) {
+	if dst < 0 || dst >= c.w.p {
+		panic(fmt.Sprintf("comm: send to invalid rank %d", dst))
+	}
+	cp := append([]int64(nil), data...)
+	c.w.statsMu.Lock()
+	c.w.stats[c.rank].Msgs++
+	c.w.stats[c.rank].Words += int64(len(cp))
+	c.w.statsMu.Unlock()
+	c.w.boxes[dst].put(message{src: c.rank, tag: tag, data: cp})
+}
+
+// Recv blocks until a message with matching source and tag arrives and
+// returns its payload and source rank. Pass AnySource to match any sender.
+func (c *Comm) Recv(src, tag int) ([]int64, int) {
+	m := c.w.boxes[c.rank].get(src, tag)
+	return m.data, m.src
+}
+
+// Barrier blocks until every rank has entered it.
+func (c *Comm) Barrier() {
+	w := c.w
+	w.barrierMu.Lock()
+	gen := w.barrierGen
+	w.barrierCnt++
+	if w.barrierCnt == w.p {
+		w.barrierCnt = 0
+		w.barrierGen++
+		w.barrierCv.Broadcast()
+	} else {
+		for gen == w.barrierGen {
+			w.barrierCv.Wait()
+		}
+	}
+	w.barrierMu.Unlock()
+}
+
+// Reduction operators for Allreduce.
+type Op int
+
+// Supported reduction operators.
+const (
+	OpSum Op = iota
+	OpMax
+	OpMin
+)
+
+func (o Op) apply(a, b int64) int64 {
+	switch o {
+	case OpSum:
+		return a + b
+	case OpMax:
+		if a > b {
+			return a
+		}
+		return b
+	default:
+		if a < b {
+			return a
+		}
+		return b
+	}
+}
+
+const (
+	tagReduce = -1000 - iota
+	tagGather
+	tagAllgather
+	tagAlltoall
+	tagBcast
+)
+
+// Allreduce combines vals elementwise across all ranks with op and returns
+// the result (identical on every rank). Implemented as a recursive
+// -doubling butterfly over point-to-point messages.
+func (c *Comm) Allreduce(vals []int64, op Op) []int64 {
+	res := append([]int64(nil), vals...)
+	p := c.w.p
+	// Butterfly over the largest power of two ≤ p, with pre/post folding
+	// for the remainder ranks.
+	pow := 1
+	for pow*2 <= p {
+		pow *= 2
+	}
+	rem := p - pow
+	r := c.rank
+	// Fold remainder ranks into their partners.
+	if r >= pow {
+		c.Send(r-pow, tagReduce, res)
+		got, _ := c.Recv(r-pow, tagBcast)
+		return got
+	}
+	if r < rem {
+		d, _ := c.Recv(r+pow, tagReduce)
+		for i := range res {
+			res[i] = op.apply(res[i], d[i])
+		}
+	}
+	for mask := 1; mask < pow; mask *= 2 {
+		partner := r ^ mask
+		c.Send(partner, tagReduce, res)
+		d, _ := c.Recv(partner, tagReduce)
+		for i := range res {
+			res[i] = op.apply(res[i], d[i])
+		}
+	}
+	if r < rem {
+		c.Send(r+pow, tagBcast, res)
+	}
+	return res
+}
+
+// Allgather collects each rank's slice on every rank, indexed by rank.
+func (c *Comm) Allgather(vals []int64) [][]int64 {
+	p := c.w.p
+	for dst := 0; dst < p; dst++ {
+		if dst != c.rank {
+			c.Send(dst, tagAllgather, vals)
+		}
+	}
+	out := make([][]int64, p)
+	out[c.rank] = append([]int64(nil), vals...)
+	for i := 0; i < p-1; i++ {
+		d, src := c.Recv(AnySource, tagAllgather)
+		out[src] = d
+	}
+	return out
+}
+
+// Gather collects each rank's slice on root (other ranks get nil).
+func (c *Comm) Gather(root int, vals []int64) [][]int64 {
+	if c.rank != root {
+		c.Send(root, tagGather, vals)
+		return nil
+	}
+	out := make([][]int64, c.w.p)
+	out[root] = append([]int64(nil), vals...)
+	for i := 0; i < c.w.p-1; i++ {
+		d, src := c.Recv(AnySource, tagGather)
+		out[src] = d
+	}
+	return out
+}
+
+// Alltoallv sends bufs[dst] to every dst (nil entries allowed, still
+// delivered as empty) and returns the received buffers indexed by source.
+func (c *Comm) Alltoallv(bufs [][]int64) [][]int64 {
+	p := c.w.p
+	if len(bufs) != p {
+		panic("comm: Alltoallv needs one buffer per rank")
+	}
+	for dst := 0; dst < p; dst++ {
+		if dst == c.rank {
+			continue
+		}
+		c.Send(dst, tagAlltoall, bufs[dst])
+	}
+	out := make([][]int64, p)
+	out[c.rank] = append([]int64(nil), bufs[c.rank]...)
+	for i := 0; i < p-1; i++ {
+		d, src := c.Recv(AnySource, tagAlltoall)
+		out[src] = d
+	}
+	return out
+}

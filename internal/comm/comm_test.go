@@ -1,0 +1,207 @@
+package comm
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestPingPong(t *testing.T) {
+	w := NewWorld(2)
+	w.Run(func(c *Comm) {
+		if c.Rank() == 0 {
+			c.Send(1, 7, []int64{42, 43})
+			d, src := c.Recv(1, 8)
+			if src != 1 || len(d) != 1 || d[0] != 99 {
+				t.Errorf("rank 0 got %v from %d", d, src)
+			}
+		} else {
+			d, src := c.Recv(0, 7)
+			if src != 0 || d[0] != 42 || d[1] != 43 {
+				t.Errorf("rank 1 got %v from %d", d, src)
+			}
+			c.Send(0, 8, []int64{99})
+		}
+	})
+}
+
+func TestTagMatching(t *testing.T) {
+	// Messages with different tags must not be confused even when sent
+	// out of receive order.
+	w := NewWorld(2)
+	w.Run(func(c *Comm) {
+		if c.Rank() == 0 {
+			c.Send(1, 1, []int64{1})
+			c.Send(1, 2, []int64{2})
+		} else {
+			d2, _ := c.Recv(0, 2)
+			d1, _ := c.Recv(0, 1)
+			if d1[0] != 1 || d2[0] != 2 {
+				t.Errorf("tag matching broke: %v %v", d1, d2)
+			}
+		}
+	})
+}
+
+func TestSendIsolation(t *testing.T) {
+	// The receiver must get a copy; mutating the sent slice afterwards
+	// must not corrupt the message.
+	w := NewWorld(2)
+	w.Run(func(c *Comm) {
+		if c.Rank() == 0 {
+			buf := []int64{5}
+			c.Send(1, 0, buf)
+			buf[0] = 666
+		} else {
+			d, _ := c.Recv(0, 0)
+			if d[0] != 5 {
+				t.Errorf("message aliased sender buffer: %d", d[0])
+			}
+		}
+	})
+}
+
+func TestBarrier(t *testing.T) {
+	const p = 8
+	w := NewWorld(p)
+	var phase atomic.Int64
+	w.Run(func(c *Comm) {
+		phase.Add(1)
+		c.Barrier()
+		if got := phase.Load(); got != p {
+			t.Errorf("rank %d passed barrier with phase=%d", c.Rank(), got)
+		}
+		c.Barrier()
+	})
+}
+
+func TestAllreduceSum(t *testing.T) {
+	for _, p := range []int{1, 2, 3, 4, 5, 8, 13} {
+		w := NewWorld(p)
+		w.Run(func(c *Comm) {
+			res := c.Allreduce([]int64{int64(c.Rank()), 1}, OpSum)
+			wantSum := int64(p * (p - 1) / 2)
+			if res[0] != wantSum || res[1] != int64(p) {
+				t.Errorf("P=%d rank %d: Allreduce = %v, want [%d %d]", p, c.Rank(), res, wantSum, p)
+			}
+		})
+	}
+}
+
+func TestAllreduceMaxMin(t *testing.T) {
+	p := 6
+	w := NewWorld(p)
+	w.Run(func(c *Comm) {
+		mx := c.Allreduce([]int64{int64(c.Rank())}, OpMax)
+		mn := c.Allreduce([]int64{int64(c.Rank())}, OpMin)
+		if mx[0] != int64(p-1) || mn[0] != 0 {
+			t.Errorf("rank %d: max %d min %d", c.Rank(), mx[0], mn[0])
+		}
+	})
+}
+
+func TestAllgather(t *testing.T) {
+	p := 5
+	w := NewWorld(p)
+	w.Run(func(c *Comm) {
+		out := c.Allgather([]int64{int64(c.Rank() * 10)})
+		for r := 0; r < p; r++ {
+			if out[r][0] != int64(r*10) {
+				t.Errorf("rank %d: out[%d] = %v", c.Rank(), r, out[r])
+			}
+		}
+	})
+}
+
+func TestGather(t *testing.T) {
+	p := 4
+	w := NewWorld(p)
+	w.Run(func(c *Comm) {
+		out := c.Gather(2, []int64{int64(c.Rank())})
+		if c.Rank() == 2 {
+			for r := 0; r < p; r++ {
+				if out[r][0] != int64(r) {
+					t.Errorf("gather: out[%d] = %v", r, out[r])
+				}
+			}
+		} else if out != nil {
+			t.Errorf("non-root rank %d got %v", c.Rank(), out)
+		}
+	})
+}
+
+func TestAlltoallv(t *testing.T) {
+	p := 4
+	w := NewWorld(p)
+	w.Run(func(c *Comm) {
+		bufs := make([][]int64, p)
+		for dst := 0; dst < p; dst++ {
+			bufs[dst] = []int64{int64(c.Rank()*100 + dst)}
+		}
+		out := c.Alltoallv(bufs)
+		for src := 0; src < p; src++ {
+			want := int64(src*100 + c.Rank())
+			if out[src][0] != want {
+				t.Errorf("rank %d: from %d got %v, want %d", c.Rank(), src, out[src], want)
+			}
+		}
+	})
+}
+
+func TestStatsCounters(t *testing.T) {
+	w := NewWorld(2)
+	w.Run(func(c *Comm) {
+		if c.Rank() == 0 {
+			c.Send(1, 0, []int64{1, 2, 3})
+		} else {
+			c.Recv(0, 0)
+		}
+	})
+	st := w.RankStats()
+	if st[0].Msgs != 1 || st[0].Words != 3 {
+		t.Errorf("rank 0 stats = %+v", st[0])
+	}
+	if st[1].Msgs != 0 {
+		t.Errorf("rank 1 stats = %+v", st[1])
+	}
+	w.ResetStats()
+	st = w.RankStats()
+	if st[0].Msgs != 0 || st[0].Words != 0 {
+		t.Error("ResetStats did not zero counters")
+	}
+}
+
+func TestRunPropagatesPanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("panic not propagated")
+		}
+	}()
+	w := NewWorld(2)
+	w.Run(func(c *Comm) {
+		if c.Rank() == 1 {
+			panic("boom")
+		}
+	})
+}
+
+func TestAnySource(t *testing.T) {
+	p := 4
+	w := NewWorld(p)
+	w.Run(func(c *Comm) {
+		if c.Rank() == 0 {
+			seen := map[int]bool{}
+			for i := 0; i < p-1; i++ {
+				d, src := c.Recv(AnySource, 3)
+				if seen[src] {
+					t.Errorf("duplicate source %d", src)
+				}
+				seen[src] = true
+				if d[0] != int64(src) {
+					t.Errorf("payload %d from %d", d[0], src)
+				}
+			}
+		} else {
+			c.Send(0, 3, []int64{int64(c.Rank())})
+		}
+	})
+}

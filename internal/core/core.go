@@ -1,0 +1,332 @@
+// Package core implements the paper's framework for parallel adaptive flow
+// computation (its Fig. 1): a flow solver and mesh adaptor coupled to a
+// partitioner and mapper that redistribute the computational mesh when
+// necessary. Each cycle runs the solver, adapts the mesh, evaluates the
+// load balance on the dual graph, and — if the imbalance exceeds the
+// threshold — repartitions, reassigns partitions to processors so as to
+// minimize data movement, and accepts the remap only when the expected
+// computational gain exceeds the redistribution cost.
+package core
+
+import (
+	"fmt"
+
+	"plum/internal/adapt"
+	"plum/internal/dual"
+	"plum/internal/geom"
+	"plum/internal/machine"
+	"plum/internal/mesh"
+	"plum/internal/par"
+	"plum/internal/partition"
+	"plum/internal/remap"
+	"plum/internal/solver"
+)
+
+// Mapper selects the processor-reassignment algorithm.
+type Mapper int
+
+// Available mappers.
+const (
+	MapperHeuristic Mapper = iota
+	MapperOptimal
+)
+
+// String implements fmt.Stringer.
+func (mp Mapper) String() string {
+	if mp == MapperOptimal {
+		return "optimal"
+	}
+	return "heuristic"
+}
+
+// Config parameterizes the framework.
+type Config struct {
+	// P is the number of processors; F is the number of partitions per
+	// processor (the paper's granularity factor; F=1 suffices for most
+	// practical applications).
+	P, F int
+	// ImbalanceThreshold triggers repartitioning when Wmax/Wavg exceeds
+	// it.
+	ImbalanceThreshold float64
+	// Method is the repartitioning algorithm.
+	Method partition.Method
+	// Mapper chooses heuristic or optimal processor reassignment.
+	Mapper Mapper
+	// Model is the machine model for timing.
+	Model machine.Model
+	// Cost holds the gain/cost decision constants.
+	Cost remap.CostModel
+	// Seed drives any randomized components.
+	Seed int64
+	// PreAdapt uniformly refines the mesh this many times before the
+	// dual graph is built, then rebases the refinement history — the
+	// paper's remedy when the initial mesh is too small for good
+	// partitions ("one can then allow the initial mesh to be adapted one
+	// or more times before using the dual graph for all future
+	// adaptions").
+	PreAdapt int
+	// Agglomerate, when > 1, groups roughly this many dual vertices into
+	// superelements before partitioning — the paper's remedy when the
+	// initial mesh is too *large* and partitioning time would be
+	// excessive.
+	Agglomerate int
+}
+
+// DefaultConfig returns the configuration used throughout the experiments:
+// F=1, threshold 1.2, multilevel partitioner, heuristic mapper, SP2
+// machine constants.
+func DefaultConfig(p int) Config {
+	return Config{
+		P:                  p,
+		F:                  1,
+		ImbalanceThreshold: 1.2,
+		Method:             partition.MethodMultilevel,
+		Mapper:             MapperHeuristic,
+		Model:              machine.SP2(),
+		Cost:               remap.DefaultSP2(),
+		Seed:               1,
+	}
+}
+
+// Framework couples the mesh, its dual graph, the distributed view, the
+// adaptor, and (optionally) a proxy flow solver.
+type Framework struct {
+	Cfg Config
+	M   *mesh.Mesh
+	G   *dual.Graph
+	D   *par.Dist
+	A   *adapt.Adaptor
+	S   *solver.Solver
+}
+
+// New builds a framework over m: the dual graph is constructed, an initial
+// P-way partition computed and mapped one-to-one onto processors, and the
+// adaptor attached. sol may be nil when no solver coupling is needed.
+func New(m *mesh.Mesh, sol *solver.Solver, cfg Config) (*Framework, error) {
+	if cfg.P < 1 || cfg.F < 1 {
+		return nil, fmt.Errorf("core: invalid P=%d F=%d", cfg.P, cfg.F)
+	}
+	for i := 0; i < cfg.PreAdapt; i++ {
+		pa := adapt.New(m)
+		pa.MarkRegion(geom.All{}, adapt.MarkRefine)
+		pa.Refine()
+		if sol != nil {
+			sol.SyncAfterAdaption() // interpolate onto the new vertices
+		}
+		cm := m.Rebase()
+		if sol != nil {
+			// Rebase compacts vertex ids; carry the field across.
+			u := make([]float64, len(m.Verts))
+			for old, nv := range cm.Vert {
+				if nv >= 0 && old < len(sol.U) {
+					u[nv] = sol.U[old]
+				}
+			}
+			sol.U = u
+		}
+	}
+	g := dual.Build(m)
+	asg := partitionMaybeAgglomerated(g, cfg)
+	return &Framework{
+		Cfg: cfg,
+		M:   m,
+		G:   g,
+		D:   par.NewDist(m, cfg.P, asg),
+		A:   adapt.New(m),
+		S:   sol,
+	}, nil
+}
+
+// partitionMaybeAgglomerated partitions g into cfg.P parts, optionally via
+// superelement agglomeration for very large duals.
+func partitionMaybeAgglomerated(g *dual.Graph, cfg Config) partition.Assignment {
+	if cfg.Agglomerate <= 1 {
+		return partition.Partition(g, cfg.P, cfg.Method)
+	}
+	coarse, group := g.Agglomerate(cfg.Agglomerate)
+	coarseAsg := partition.Partition(coarse, cfg.P, cfg.Method)
+	asg := make(partition.Assignment, g.N)
+	for v := range asg {
+		asg[v] = coarseAsg[group[v]]
+	}
+	return asg
+}
+
+// Loads returns the per-processor computational weight under the current
+// ownership (the projection of the new Wcomp onto the current partitions
+// used by the preliminary evaluation).
+func (f *Framework) Loads() []int64 {
+	loads := make([]int64, f.Cfg.P)
+	owners := f.D.Owners()
+	for v, o := range owners {
+		loads[o] += f.G.Wcomp[v]
+	}
+	return loads
+}
+
+// Evaluate is the preliminary evaluation step: it refreshes the dual
+// weights from the mesh and returns the imbalance factor Wmax/Wavg and
+// whether it exceeds the repartitioning threshold.
+func (f *Framework) Evaluate() (imbalance float64, needsRepartition bool) {
+	f.G.UpdateWeights(f.M)
+	imb := par.ImbalanceFactor(f.Loads())
+	return imb, imb > f.Cfg.ImbalanceThreshold
+}
+
+// BalanceReport records one pass through the load-balancing pipeline.
+type BalanceReport struct {
+	// ImbalanceBefore is Wmax/Wavg on the current partitions.
+	ImbalanceBefore float64
+	// Repartitioned reports whether the threshold was exceeded and a new
+	// partitioning computed.
+	Repartitioned bool
+	// ImbalanceAfter is the projected imbalance of the new partitioning
+	// (1.0-ish when repartitioned, else equal to ImbalanceBefore).
+	ImbalanceAfter float64
+	// WmaxOld and WmaxNew are the heaviest processor loads before/after.
+	WmaxOld, WmaxNew int64
+	// Objective is the mapper's 𝒥; MoveC and MoveN are the cost model's
+	// C (elements moved) and N (element sets moved).
+	Objective int64
+	MoveC     int64
+	MoveN     int
+	// ReassignOps and ReassignTime describe the mapper's work.
+	ReassignOps  int64
+	ReassignTime float64
+	// Gain and Cost are the two sides of the acceptance test; Accepted
+	// reports whether the remap was executed.
+	Gain, Cost float64
+	Accepted   bool
+	// Remap holds the executed migration (zero when not accepted).
+	Remap par.RemapResult
+}
+
+// Balance runs the repartitioning / reassignment / cost-decision /
+// remapping pipeline of the framework once. When the current partitions
+// are adequately balanced, or when the redistribution cost exceeds the
+// expected gain, the mesh distribution is left untouched (the paper
+// discards the new partitioning in that case).
+func (f *Framework) Balance() (BalanceReport, error) {
+	var rep BalanceReport
+	f.G.UpdateWeights(f.M)
+	loads := f.Loads()
+	rep.ImbalanceBefore = par.ImbalanceFactor(loads)
+	rep.ImbalanceAfter = rep.ImbalanceBefore
+	rep.WmaxOld = maxOf(loads)
+	if rep.ImbalanceBefore <= f.Cfg.ImbalanceThreshold {
+		return rep, nil
+	}
+	rep.Repartitioned = true
+
+	// Repartition the dual graph into P·F parts.
+	nParts := f.Cfg.P * f.Cfg.F
+	newPart := partition.Partition(f.G, nParts, f.Cfg.Method)
+
+	// Similarity matrix + processor reassignment.
+	sim := remap.Build(f.D.Owners(), newPart, f.G.Wremap, f.Cfg.P, f.Cfg.F)
+	var mp remap.Mapping
+	if f.Cfg.Mapper == MapperOptimal {
+		mp, rep.Objective = sim.Optimal()
+	} else {
+		mp, rep.Objective = sim.Heuristic()
+	}
+	if err := sim.Validate(mp); err != nil {
+		return rep, err
+	}
+	rep.ReassignOps = sim.LastOps
+	rep.ReassignTime = float64(sim.LastOps) * f.Cfg.Model.AlgOp
+
+	// Projected new loads under the mapping.
+	newLoads := make([]int64, f.Cfg.P)
+	for v, p := range newPart {
+		newLoads[mp[p]] += f.G.Wcomp[v]
+	}
+	rep.WmaxNew = maxOf(newLoads)
+	rep.ImbalanceAfter = par.ImbalanceFactor(newLoads)
+
+	// Gain/cost decision.
+	rep.MoveC, rep.MoveN = sim.MoveStats(mp)
+	rep.Gain = f.Cfg.Cost.Gain(rep.WmaxOld, rep.WmaxNew)
+	rep.Cost = f.Cfg.Cost.RedistCost(rep.MoveC, rep.MoveN)
+	if rep.Gain <= rep.Cost {
+		rep.ImbalanceAfter = rep.ImbalanceBefore // discarded
+		return rep, nil
+	}
+	rep.Accepted = true
+
+	// Execute the remap: ownership follows the accepted mapping.
+	newOwner := make([]int32, len(newPart))
+	for v, p := range newPart {
+		newOwner[v] = mp[p]
+	}
+	res, err := f.D.ExecuteRemap(newOwner, f.Cfg.Model)
+	if err != nil {
+		return rep, err
+	}
+	rep.Remap = res
+	return rep, nil
+}
+
+// CycleReport records one full solution/adaption cycle.
+type CycleReport struct {
+	// SolverTime is the modeled time of the Nadapt solver iterations
+	// preceding adaption under the pre-adaption loads.
+	SolverTime float64
+	// Refine holds the adaption statistics.
+	Refine adapt.RefineStats
+	// AdaptTime is the parallel adaption timing breakdown.
+	AdaptTime par.AdaptTimings
+	// Balance is the load-balancing pipeline report.
+	Balance BalanceReport
+}
+
+// Cycle executes one pass of the paper's Fig. 1 loop: flow solution, edge
+// marking via the supplied function, parallel mesh adaption, solution
+// transfer, and the balance pipeline.
+func (f *Framework) Cycle(mark func(*adapt.Adaptor)) (CycleReport, error) {
+	var rep CycleReport
+	loads := f.Loads()
+	rep.SolverTime = f.Cfg.Cost.SolverTime(maxOf(loads))
+	if f.S != nil {
+		f.S.Iterate(3) // the proxy solve that produces the error field
+	}
+	mark(f.A)
+	rep.Refine, rep.AdaptTime = f.D.ParallelRefine(f.A, f.Cfg.Model)
+	if f.S != nil {
+		f.S.SyncAfterAdaption()
+	}
+	bal, err := f.Balance()
+	if err != nil {
+		return rep, err
+	}
+	rep.Balance = bal
+	return rep, nil
+}
+
+// SolverImprovement returns the Fig. 12 quantity: the ratio of flow-solver
+// execution time on the unbalanced distribution to that on the balanced
+// one, together with the theoretical bound 8P/(P+7) for a single
+// isotropically refined processor.
+func SolverImprovement(wmaxUnbalanced, wmaxBalanced int64) float64 {
+	if wmaxBalanced == 0 {
+		return 1
+	}
+	return float64(wmaxUnbalanced) / float64(wmaxBalanced)
+}
+
+// ImprovementBound returns the paper's maximum possible improvement for P
+// processors when one processor's N elements are all isotropically
+// refined: 8P/(P+7).
+func ImprovementBound(p int) float64 {
+	return 8 * float64(p) / (float64(p) + 7)
+}
+
+func maxOf(xs []int64) int64 {
+	var m int64
+	for _, x := range xs {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}

@@ -1,0 +1,221 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"plum/internal/adapt"
+	"plum/internal/geom"
+	"plum/internal/meshgen"
+	"plum/internal/solver"
+)
+
+func newFW(t *testing.T, p int) *Framework {
+	t.Helper()
+	m := meshgen.SmallBox()
+	f, err := New(m, nil, DefaultConfig(p))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func TestNewRejectsBadConfig(t *testing.T) {
+	m := meshgen.UnitCube()
+	if _, err := New(m, nil, Config{P: 0, F: 1}); err == nil {
+		t.Error("accepted P=0")
+	}
+	if _, err := New(m, nil, Config{P: 2, F: 0}); err == nil {
+		t.Error("accepted F=0")
+	}
+}
+
+func TestEvaluateBalancedInitially(t *testing.T) {
+	f := newFW(t, 4)
+	imb, need := f.Evaluate()
+	if need {
+		t.Errorf("fresh partition flagged for repartitioning (imb=%.3f)", imb)
+	}
+	if imb < 1 || imb > f.Cfg.ImbalanceThreshold {
+		t.Errorf("initial imbalance %.3f", imb)
+	}
+}
+
+func TestBalanceNoOpWhenBalanced(t *testing.T) {
+	f := newFW(t, 4)
+	rep, err := f.Balance()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Repartitioned || rep.Accepted {
+		t.Errorf("balanced mesh triggered pipeline: %+v", rep)
+	}
+}
+
+func TestBalanceAfterLocalizedRefinement(t *testing.T) {
+	f := newFW(t, 8)
+	// Heavy corner refinement creates severe imbalance.
+	f.A.MarkRegion(geom.Sphere{Center: geom.Vec3{}, Radius: 0.6}, adapt.MarkRefine)
+	f.A.Refine()
+	f.A.MarkRegion(geom.Sphere{Center: geom.Vec3{}, Radius: 0.4}, adapt.MarkRefine)
+	f.A.Refine()
+
+	imb, need := f.Evaluate()
+	if !need {
+		t.Fatalf("imbalance %.3f did not exceed threshold", imb)
+	}
+	rep, err := f.Balance()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Repartitioned {
+		t.Fatal("did not repartition")
+	}
+	if !rep.Accepted {
+		t.Fatalf("remap not accepted: gain=%g cost=%g", rep.Gain, rep.Cost)
+	}
+	if rep.ImbalanceAfter >= rep.ImbalanceBefore {
+		t.Errorf("imbalance did not improve: %.3f -> %.3f", rep.ImbalanceBefore, rep.ImbalanceAfter)
+	}
+	if rep.WmaxNew >= rep.WmaxOld {
+		t.Errorf("Wmax did not improve: %d -> %d", rep.WmaxOld, rep.WmaxNew)
+	}
+	if rep.MoveC <= 0 || rep.MoveN <= 0 || rep.Remap.Moved != rep.MoveC {
+		t.Errorf("movement accounting: C=%d N=%d remap=%+v", rep.MoveC, rep.MoveN, rep.Remap)
+	}
+	// After the remap the actual loads must match the projection.
+	newImb := par_ImbalanceFactor(f.Loads())
+	if math.Abs(newImb-rep.ImbalanceAfter) > 1e-9 {
+		t.Errorf("projected imbalance %.4f != realized %.4f", rep.ImbalanceAfter, newImb)
+	}
+}
+
+// par_ImbalanceFactor avoids an import cycle in test helpers.
+func par_ImbalanceFactor(loads []int64) float64 {
+	var max, sum int64
+	for _, x := range loads {
+		sum += x
+		if x > max {
+			max = x
+		}
+	}
+	if sum == 0 {
+		return 1
+	}
+	return float64(max) / (float64(sum) / float64(len(loads)))
+}
+
+func TestCostDecisionRejectsPointlessRemap(t *testing.T) {
+	f := newFW(t, 4)
+	// Make remapping prohibitively expensive.
+	f.Cfg.Cost.Tlat = 1 // one second per word
+	f.A.MarkRegion(geom.Sphere{Center: geom.Vec3{}, Radius: 0.6}, adapt.MarkRefine)
+	f.A.Refine()
+	ownersBefore := f.D.Owners()
+	rep, err := f.Balance()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Repartitioned {
+		t.Skip("imbalance below threshold on this fixture")
+	}
+	if rep.Accepted {
+		t.Fatal("accepted a remap whose cost exceeds any possible gain")
+	}
+	// Ownership untouched (new partitioning discarded).
+	for i, o := range f.D.Owners() {
+		if o != ownersBefore[i] {
+			t.Fatal("ownership changed despite rejection")
+		}
+	}
+}
+
+func TestCycleWithSolver(t *testing.T) {
+	m := meshgen.SmallBox()
+	s := solver.New(m, solver.GaussianPulse(geom.Vec3{X: 0.2, Y: 0.2, Z: 0.2}, 0.15))
+	f, err := New(m, s, DefaultConfig(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := f.Cycle(func(a *adapt.Adaptor) {
+		errv := s.EdgeError()
+		hi := 0.0
+		for _, e := range errv {
+			if e > hi {
+				hi = e
+			}
+		}
+		a.MarkError(errv, hi*0.3, -1)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Refine.TotalSubdivided() == 0 {
+		t.Error("cycle refined nothing")
+	}
+	if rep.SolverTime <= 0 || rep.AdaptTime.Total <= 0 {
+		t.Errorf("times: %+v", rep)
+	}
+	if len(s.U) != len(m.Verts) {
+		t.Error("solution not synced")
+	}
+	if err := m.Check(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOptimalMapperPath(t *testing.T) {
+	f := newFW(t, 4)
+	f.Cfg.Mapper = MapperOptimal
+	f.A.MarkRegion(geom.Sphere{Center: geom.Vec3{}, Radius: 0.7}, adapt.MarkRefine)
+	f.A.Refine()
+	rep, err := f.Balance()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Repartitioned && rep.ReassignOps < int64(4*4*4) {
+		t.Errorf("optimal ops = %d, want ≥ n³", rep.ReassignOps)
+	}
+}
+
+func TestFGreaterThanOne(t *testing.T) {
+	f := newFW(t, 4)
+	f.Cfg.F = 4
+	f.A.MarkRegion(geom.Sphere{Center: geom.Vec3{}, Radius: 0.7}, adapt.MarkRefine)
+	f.A.Refine()
+	rep, err := f.Balance()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Repartitioned {
+		t.Skip("no repartition on fixture")
+	}
+	if rep.ImbalanceAfter > rep.ImbalanceBefore {
+		t.Error("F=4 worsened balance")
+	}
+}
+
+func TestImprovementBound(t *testing.T) {
+	// 8P/(P+7): 1 at P=1, ≈7.2 at P=64, →8 as P→∞.
+	if b := ImprovementBound(1); math.Abs(b-1) > 1e-12 {
+		t.Errorf("bound(1) = %g", b)
+	}
+	if b := ImprovementBound(64); math.Abs(b-8*64.0/71.0) > 1e-12 {
+		t.Errorf("bound(64) = %g", b)
+	}
+	if ImprovementBound(1024) >= 8 {
+		t.Error("bound must stay below 8")
+	}
+	if SolverImprovement(800, 100) != 8 {
+		t.Error("SolverImprovement ratio")
+	}
+	if SolverImprovement(800, 0) != 1 {
+		t.Error("SolverImprovement zero guard")
+	}
+}
+
+func TestMapperString(t *testing.T) {
+	if MapperHeuristic.String() != "heuristic" || MapperOptimal.String() != "optimal" {
+		t.Error("mapper names")
+	}
+}

@@ -1,0 +1,82 @@
+package core
+
+import (
+	"testing"
+
+	"plum/internal/adapt"
+	"plum/internal/geom"
+	"plum/internal/meshgen"
+	"plum/internal/solver"
+)
+
+func TestPreAdaptGrowsInitialMesh(t *testing.T) {
+	// A unit cube (6 tets) is far too small for 8-way partitioning; one
+	// pre-adaption level gives 48 root elements.
+	m := meshgen.UnitCube()
+	cfg := DefaultConfig(8)
+	cfg.PreAdapt = 1
+	fw, err := New(m, nil, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fw.G.N != 48 {
+		t.Fatalf("dual has %d vertices, want 48 (rebased pre-adaption)", fw.G.N)
+	}
+	// Every element is now a level-0 root: coarsening cannot undo the
+	// pre-adaption.
+	fw.A.MarkRegion(geom.All{}, adapt.MarkCoarsen)
+	fw.A.Coarsen()
+	if got := m.NumActiveElems(); got != 48 {
+		t.Errorf("coarsening undid the pre-adaption: %d elements", got)
+	}
+}
+
+func TestPreAdaptCarriesSolution(t *testing.T) {
+	m := meshgen.UnitCube()
+	sol := solver.New(m, func(p geom.Vec3) float64 { return p.X })
+	cfg := DefaultConfig(4)
+	cfg.PreAdapt = 2
+	if _, err := New(m, sol, cfg); err != nil {
+		t.Fatal(err)
+	}
+	if len(sol.U) != len(m.Verts) {
+		t.Fatalf("solution has %d entries for %d vertices", len(sol.U), len(m.Verts))
+	}
+	// The linear field x must be reproduced exactly by linear
+	// interpolation at every vertex.
+	for i := range m.Verts {
+		if m.Verts[i].Dead {
+			continue
+		}
+		if want := m.Verts[i].Pos.X; abs(sol.U[i]-want) > 1e-12 {
+			t.Fatalf("vertex %d: field %g, want %g", i, sol.U[i], want)
+		}
+	}
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func TestAgglomeratedPartitioning(t *testing.T) {
+	m := meshgen.SmallBox()
+	cfg := DefaultConfig(4)
+	cfg.Agglomerate = 8
+	fw, err := New(m, nil, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	imb, need := fw.Evaluate()
+	if need {
+		t.Errorf("agglomerated initial partition unbalanced: %.3f", imb)
+	}
+	// The pipeline must still work end to end.
+	fw.A.MarkRegion(geom.Sphere{Center: geom.Vec3{}, Radius: 0.6}, adapt.MarkRefine)
+	fw.A.Refine()
+	if _, err := fw.Balance(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,474 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation section. Each Run* function executes the corresponding
+// experiment at the paper's scale (the ≈61k-element rotor mesh) on the SP2
+// machine model and returns both structured data and a formatted table.
+//
+// The absolute numbers depend on the synthetic mesh and the model
+// calibration; the claims under reproduction are the *shapes*: who wins,
+// by roughly what factor, and where the curves bend (see EXPERIMENTS.md).
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"plum/internal/adapt"
+	"plum/internal/dual"
+	"plum/internal/machine"
+	"plum/internal/mesh"
+	"plum/internal/meshgen"
+	"plum/internal/par"
+	"plum/internal/partition"
+	"plum/internal/remap"
+)
+
+// Seed fixes all randomized components of the experiments.
+const Seed = 12345
+
+// ProcCounts is the processor axis of the paper's figures.
+var ProcCounts = []int{1, 2, 4, 8, 16, 32, 64}
+
+// baseMesh caches the paper-scale mesh; experiments clone it.
+var (
+	baseOnce sync.Once
+	base     *mesh.Mesh
+)
+
+// BaseMesh returns a clone of the paper-scale rotor mesh (generated once).
+func BaseMesh() *mesh.Mesh {
+	baseOnce.Do(func() { base = meshgen.PaperMesh() })
+	return base.Clone()
+}
+
+// ---------------------------------------------------------------- Table 1
+
+// Table1Row is one strategy's grid-size progression.
+type Table1Row struct {
+	Strategy                      adapt.Strategy
+	InitElems, InitEdges          int
+	RefinedElems, RefinedEdges    int
+	CoarsenedElems, CoarsenedEdge int
+}
+
+// Table1 holds the progression of grid sizes through refinement and
+// coarsening for the three edge-marking strategies.
+type Table1 struct {
+	Rows []Table1Row
+}
+
+// RunTable1 reproduces Table 1.
+func RunTable1() *Table1 {
+	t := &Table1{}
+	for _, s := range adapt.Strategies {
+		m := BaseMesh()
+		a := adapt.New(m)
+		row := Table1Row{Strategy: s, InitElems: m.NumActiveElems(), InitEdges: m.NumActiveEdges()}
+		a.MarkStrategyRefine(s, Seed)
+		a.Refine()
+		row.RefinedElems, row.RefinedEdges = m.NumActiveElems(), m.NumActiveEdges()
+		a.MarkStrategyCoarsen(s, Seed)
+		a.Coarsen()
+		row.CoarsenedElems, row.CoarsenedEdge = m.NumActiveElems(), m.NumActiveEdges()
+		t.Rows = append(t.Rows, row)
+	}
+	return t
+}
+
+// String renders the table in the paper's layout.
+func (t *Table1) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 1: Progression of grid sizes through refinement and coarsening\n")
+	fmt.Fprintf(&b, "%-18s", "")
+	for _, r := range t.Rows {
+		fmt.Fprintf(&b, "%12s %-10s", r.Strategy, "")
+	}
+	fmt.Fprintf(&b, "\n%-18s", "")
+	for range t.Rows {
+		fmt.Fprintf(&b, "%12s %10s", "Elements", "Edges")
+	}
+	b.WriteByte('\n')
+	line := func(name string, f func(Table1Row) (int, int)) {
+		fmt.Fprintf(&b, "%-18s", name)
+		for _, r := range t.Rows {
+			e, d := f(r)
+			fmt.Fprintf(&b, "%12d %10d", e, d)
+		}
+		b.WriteByte('\n')
+	}
+	line("Initial Mesh", func(r Table1Row) (int, int) { return r.InitElems, r.InitEdges })
+	line("After Refinement", func(r Table1Row) (int, int) { return r.RefinedElems, r.RefinedEdges })
+	line("After Coarsening", func(r Table1Row) (int, int) { return r.CoarsenedElems, r.CoarsenedEdge })
+	return b.String()
+}
+
+// ---------------------------------------------------------------- Fig. 8
+
+// Fig8Point is one (strategy, P) speedup measurement.
+type Fig8Point struct {
+	P                  int
+	Refine, Coarsen    float64 // modeled seconds
+	SpeedupR, SpeedupC float64
+}
+
+// Fig8 holds the parallel mesh-adaption speedup curves.
+type Fig8 struct {
+	Curves map[adapt.Strategy][]Fig8Point
+}
+
+// RunFig8 reproduces Figure 8 (speedup of the refinement and coarsening
+// stages for the three strategies).
+func RunFig8() *Fig8 {
+	mdl := machine.SP2()
+	f := &Fig8{Curves: map[adapt.Strategy][]Fig8Point{}}
+	for _, s := range adapt.Strategies {
+		var t1R, t1C float64
+		for _, p := range ProcCounts {
+			m := BaseMesh()
+			g := dual.Build(m)
+			asg := partition.Partition(g, p, partition.MethodInertial)
+			d := par.NewDist(m, p, asg)
+			a := adapt.New(m)
+
+			a.MarkStrategyRefine(s, Seed)
+			_, tmR := d.ParallelRefine(a, mdl)
+
+			a.MarkStrategyCoarsen(s, Seed)
+			_, tmC := d.ParallelCoarsen(a, mdl)
+
+			pt := Fig8Point{P: p, Refine: tmR.Total, Coarsen: tmC.Total}
+			if p == 1 {
+				t1R, t1C = tmR.Total, tmC.Total
+			}
+			pt.SpeedupR = t1R / tmR.Total
+			pt.SpeedupC = t1C / tmC.Total
+			f.Curves[s] = append(f.Curves[s], pt)
+		}
+	}
+	return f
+}
+
+// String renders both panels as text tables.
+func (f *Fig8) String() string {
+	var b strings.Builder
+	for panel, sel := range map[string]func(Fig8Point) float64{
+		"(a) refinement": func(p Fig8Point) float64 { return p.SpeedupR },
+		"(b) coarsening": func(p Fig8Point) float64 { return p.SpeedupC },
+	} {
+		fmt.Fprintf(&b, "Fig 8%s: speedup of parallel mesh adaption\n", panel)
+		fmt.Fprintf(&b, "%6s", "P")
+		for _, s := range adapt.Strategies {
+			fmt.Fprintf(&b, "%12s", s)
+		}
+		b.WriteByte('\n')
+		for i := range f.Curves[adapt.Local1] {
+			fmt.Fprintf(&b, "%6d", f.Curves[adapt.Local1][i].P)
+			for _, s := range adapt.Strategies {
+				fmt.Fprintf(&b, "%12.2f", sel(f.Curves[s][i]))
+			}
+			b.WriteByte('\n')
+		}
+	}
+	return b.String()
+}
+
+// ---------------------------------------------------------------- Fig. 9
+
+// Fig9Point decomposes one P's execution time.
+type Fig9Point struct {
+	P                         int
+	Adaption, Reassign, Remap float64
+}
+
+// Fig9 holds the anatomy of total execution times for the Local_1 and
+// Local_2 refinement strategies.
+type Fig9 struct {
+	Curves map[adapt.Strategy][]Fig9Point
+}
+
+// RunFig9 reproduces Figure 9 (execution-time anatomy, F = 1, heuristic
+// mapper).
+func RunFig9() *Fig9 {
+	mdl := machine.SP2()
+	f := &Fig9{Curves: map[adapt.Strategy][]Fig9Point{}}
+	for _, s := range []adapt.Strategy{adapt.Local1, adapt.Local2} {
+		for _, p := range ProcCounts {
+			if p == 1 {
+				continue
+			}
+			pt := runBalancePipeline(s, p, 1, false, mdl)
+			f.Curves[s] = append(f.Curves[s], Fig9Point{
+				P: p, Adaption: pt.AdaptTime, Reassign: pt.ReassignTime, Remap: pt.RemapTime,
+			})
+		}
+	}
+	return f
+}
+
+// String renders both panels.
+func (f *Fig9) String() string {
+	var b strings.Builder
+	for _, s := range []adapt.Strategy{adapt.Local1, adapt.Local2} {
+		fmt.Fprintf(&b, "Fig 9 (%s): anatomy of execution time (seconds, SP2 model)\n", s)
+		fmt.Fprintf(&b, "%6s%14s%14s%14s\n", "P", "adaption", "remapping", "reassignment")
+		for _, pt := range f.Curves[s] {
+			fmt.Fprintf(&b, "%6d%14.4g%14.4g%14.4g\n", pt.P, pt.Adaption, pt.Remap, pt.Reassign)
+		}
+	}
+	return b.String()
+}
+
+// pipelineResult carries the measurements shared by Figs. 9-12.
+type pipelineResult struct {
+	AdaptTime    float64
+	ReassignTime float64
+	ReassignOps  int64
+	RemapTime    float64
+	Moved        int64
+	Sets         int
+	Objective    int64
+	WmaxOld      int64
+	WmaxNew      int64
+}
+
+// runBalancePipeline refines with strategy s on P processors, then
+// repartitions into P·F parts, reassigns with the chosen mapper, and
+// executes the remap, returning all measurements.
+func runBalancePipeline(s adapt.Strategy, p, fgran int, optimal bool, mdl machine.Model) pipelineResult {
+	m := BaseMesh()
+	g := dual.Build(m)
+	asg := partition.Partition(g, p, partition.MethodInertial)
+	d := par.NewDist(m, p, asg)
+	a := adapt.New(m)
+	a.MarkStrategyRefine(s, Seed)
+	_, tm := d.ParallelRefine(a, mdl)
+	g.UpdateWeights(m)
+
+	var res pipelineResult
+	res.AdaptTime = tm.Total
+	loads := make([]int64, p)
+	for v, o := range d.Owners() {
+		loads[o] += g.Wcomp[v]
+	}
+	res.WmaxOld = maxI64(loads)
+
+	newPart := partition.Partition(g, p*fgran, partition.MethodInertial)
+	sim := remap.Build(d.Owners(), newPart, g.Wremap, p, fgran)
+	var mp remap.Mapping
+	if optimal {
+		mp, res.Objective = sim.Optimal()
+	} else {
+		mp, res.Objective = sim.Heuristic()
+	}
+	res.ReassignOps = sim.LastOps
+	res.ReassignTime = float64(sim.LastOps) * mdl.AlgOp
+	res.Moved, res.Sets = sim.MoveStats(mp)
+
+	newLoads := make([]int64, p)
+	for v, part := range newPart {
+		newLoads[mp[part]] += g.Wcomp[v]
+	}
+	res.WmaxNew = maxI64(newLoads)
+
+	newOwner := make([]int32, len(newPart))
+	for v, part := range newPart {
+		newOwner[v] = mp[part]
+	}
+	rr, err := d.ExecuteRemap(newOwner, mdl)
+	if err != nil {
+		panic(err)
+	}
+	res.RemapTime = rr.Total
+	return res
+}
+
+func maxI64(xs []int64) int64 {
+	var m int64
+	for _, x := range xs {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// ---------------------------------------------------------------- Fig. 10
+
+// Fig10Point is one (P, F) mapper comparison.
+type Fig10Point struct {
+	P, F                         int
+	HeuristicTime, OptimalTime   float64
+	HeuristicMoved, OptimalMoved int64
+	HeuristicObj, OptimalObj     int64
+}
+
+// Fig10 compares the optimal and heuristic mappers (Local_2 refinement).
+type Fig10 struct {
+	Points []Fig10Point
+}
+
+// Fgrans is the granularity axis of Figs. 10 and 11.
+var Fgrans = []int{1, 2, 4, 8}
+
+// RunFig10 reproduces Figure 10: execution time and data movement of the
+// two mappers for F = 1, 2, 4, 8. The refined mesh and its dual weights do
+// not depend on P or F, so they are computed once.
+func RunFig10() *Fig10 {
+	mdl := machine.SP2()
+	m := BaseMesh()
+	g := dual.Build(m)
+	a := adapt.New(m)
+	a.MarkStrategyRefine(adapt.Local2, Seed)
+	a.Refine()
+	g.UpdateWeights(m)
+
+	out := &Fig10{}
+	for _, p := range ProcCounts {
+		if p == 1 {
+			continue
+		}
+		oldAsg := initialOwners(g, p)
+		for _, fg := range Fgrans {
+			newPart := partition.Partition(g, p*fg, partition.MethodInertial)
+			sim := remap.Build(oldAsg, newPart, g.Wremap, p, fg)
+			pt := Fig10Point{P: p, F: fg}
+
+			mpH, objH := sim.Heuristic()
+			pt.HeuristicObj = objH
+			pt.HeuristicTime = float64(sim.LastOps) * mdl.AlgOp
+			pt.HeuristicMoved, _ = sim.MoveStats(mpH)
+
+			mpO, objO := sim.Optimal()
+			pt.OptimalObj = objO
+			pt.OptimalTime = float64(sim.LastOps) * mdl.AlgOp
+			pt.OptimalMoved, _ = sim.MoveStats(mpO)
+
+			out.Points = append(out.Points, pt)
+		}
+	}
+	return out
+}
+
+// initialOwners computes the pre-adaption balanced ownership: a P-way
+// partition of the dual graph with unit weights (the state before the
+// refinement unbalanced it).
+func initialOwners(g *dual.Graph, p int) []int32 {
+	uniform := &dual.Graph{
+		N: g.N, Adj: g.Adj, EdgeWeight: g.EdgeWeight, Centroid: g.Centroid,
+		Wcomp:  make([]int64, g.N),
+		Wremap: make([]int64, g.N),
+	}
+	for i := range uniform.Wcomp {
+		uniform.Wcomp[i] = 1
+		uniform.Wremap[i] = 1
+	}
+	return partition.Partition(uniform, p, partition.MethodInertial)
+}
+
+// String renders both panels.
+func (f *Fig10) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Fig 10: optimal vs heuristic mapper (Local_2), SP2 model\n")
+	fmt.Fprintf(&b, "%6s%4s%16s%16s%16s%16s%12s\n", "P", "F",
+		"t_heur (s)", "t_opt (s)", "moved_heur", "moved_opt", "obj ratio")
+	for _, pt := range f.Points {
+		ratio := float64(pt.HeuristicObj) / float64(pt.OptimalObj)
+		fmt.Fprintf(&b, "%6d%4d%16.4g%16.4g%16d%16d%12.4f\n",
+			pt.P, pt.F, pt.HeuristicTime, pt.OptimalTime, pt.HeuristicMoved, pt.OptimalMoved, ratio)
+	}
+	return b.String()
+}
+
+// ---------------------------------------------------------------- Fig. 11
+
+// Fig11Point is one (P, F) remapping execution.
+type Fig11Point struct {
+	P, F      int
+	Moved     int64
+	RemapTime float64
+}
+
+// Fig11 holds remapping time vs elements moved (points swept by F).
+type Fig11 struct {
+	Points []Fig11Point
+}
+
+// RunFig11 reproduces Figure 11 for the Local_2 refinement strategy.
+func RunFig11() *Fig11 {
+	mdl := machine.SP2()
+	out := &Fig11{}
+	for _, p := range []int{4, 8, 16, 32, 64} {
+		for _, fg := range Fgrans {
+			res := runBalancePipeline(adapt.Local2, p, fg, false, mdl)
+			out.Points = append(out.Points, Fig11Point{P: p, F: fg, Moved: res.Moved, RemapTime: res.RemapTime})
+		}
+	}
+	return out
+}
+
+// String renders the point cloud.
+func (f *Fig11) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Fig 11: remapping time vs elements moved (Local_2)\n")
+	fmt.Fprintf(&b, "%6s%4s%14s%14s\n", "P", "F", "moved", "t_remap (s)")
+	for _, pt := range f.Points {
+		fmt.Fprintf(&b, "%6d%4d%14d%14.4g\n", pt.P, pt.F, pt.Moved, pt.RemapTime)
+	}
+	return b.String()
+}
+
+// ---------------------------------------------------------------- Fig. 12
+
+// Fig12Point is one (strategy, P) solver-improvement measurement.
+type Fig12Point struct {
+	P           int
+	Improvement float64
+	Bound       float64
+}
+
+// Fig12 holds the flow-solver execution-time improvement from load
+// balancing.
+type Fig12 struct {
+	Curves map[adapt.Strategy][]Fig12Point
+}
+
+// RunFig12 reproduces Figure 12: the ratio of solver time on unbalanced
+// vs balanced partitions after one refinement, per strategy, with the
+// theoretical bound 8P/(P+7).
+func RunFig12() *Fig12 {
+	mdl := machine.SP2()
+	f := &Fig12{Curves: map[adapt.Strategy][]Fig12Point{}}
+	for _, s := range adapt.Strategies {
+		for _, p := range ProcCounts {
+			if p == 1 {
+				continue
+			}
+			res := runBalancePipeline(s, p, 1, false, mdl)
+			f.Curves[s] = append(f.Curves[s], Fig12Point{
+				P:           p,
+				Improvement: float64(res.WmaxOld) / float64(res.WmaxNew),
+				Bound:       8 * float64(p) / (float64(p) + 7),
+			})
+		}
+	}
+	return f
+}
+
+// String renders the figure.
+func (f *Fig12) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Fig 12: flow-solver time improvement with load balancing\n")
+	fmt.Fprintf(&b, "%6s", "P")
+	for _, s := range adapt.Strategies {
+		fmt.Fprintf(&b, "%12s", s)
+	}
+	fmt.Fprintf(&b, "%12s\n", "bound")
+	for i := range f.Curves[adapt.Local1] {
+		fmt.Fprintf(&b, "%6d", f.Curves[adapt.Local1][i].P)
+		for _, s := range adapt.Strategies {
+			fmt.Fprintf(&b, "%12.2f", f.Curves[s][i].Improvement)
+		}
+		fmt.Fprintf(&b, "%12.2f\n", f.Curves[adapt.Local1][i].Bound)
+	}
+	return b.String()
+}

@@ -1,0 +1,53 @@
+package machine
+
+import "testing"
+
+func TestSP2Constants(t *testing.T) {
+	m := SP2()
+	if m.Tlat <= 0 || m.Tsetup <= 0 || m.ElemWords <= 0 {
+		t.Fatalf("degenerate model: %+v", m)
+	}
+	// Message setup must dominate tiny messages; volume must dominate
+	// large ones.
+	small := m.MsgTime(1)
+	large := m.MsgTime(1 << 20)
+	if small < m.Tsetup || small > 2*m.Tsetup {
+		t.Errorf("small message time %g vs setup %g", small, m.Tsetup)
+	}
+	if large < float64(1<<20)*m.Tlat {
+		t.Errorf("large message time %g ignores volume", large)
+	}
+}
+
+func TestClockSuperstep(t *testing.T) {
+	c := NewClock(3)
+	if c.P() != 3 {
+		t.Fatal("P")
+	}
+	c.Add(0, 5)
+	c.Add(1, 2)
+	if c.Elapsed() != 5 {
+		t.Errorf("Elapsed = %g", c.Elapsed())
+	}
+	c.Barrier()
+	for r := 0; r < 3; r++ {
+		if c.Rank(r) != 5 {
+			t.Errorf("rank %d at %g after barrier", r, c.Rank(r))
+		}
+	}
+	c.Add(2, 1)
+	if c.Elapsed() != 6 {
+		t.Errorf("Elapsed after more work = %g", c.Elapsed())
+	}
+}
+
+func TestClockZero(t *testing.T) {
+	c := NewClock(2)
+	if c.Elapsed() != 0 {
+		t.Error("fresh clock nonzero")
+	}
+	c.Barrier()
+	if c.Elapsed() != 0 {
+		t.Error("barrier on idle clock advanced time")
+	}
+}

@@ -1,0 +1,77 @@
+package mesh
+
+// Rebase forgets the refinement history and promotes every active element
+// (and edge) to level 0, making the *current* mesh the new "initial" mesh.
+//
+// This implements the paper's remedy for very small initial meshes: "one
+// can then allow the initial mesh to be adapted one or more times before
+// using the dual graph for all future adaptions" — after Rebase, the dual
+// graph built from this mesh has one vertex per current element, and
+// coarsening can no longer undo the pre-adaption (edges cannot be
+// coarsened beyond the new initial mesh).
+func (m *Mesh) Rebase() CompactMap {
+	// Kill retained parents (inactive, subdivided objects) so compaction
+	// drops them, then clear tree linkage on the survivors.
+	for i := range m.Elems {
+		t := &m.Elems[i]
+		if t.Dead {
+			continue
+		}
+		if !t.Active() {
+			t.Dead = true
+		}
+	}
+	for i := range m.Faces {
+		f := &m.Faces[i]
+		if f.Dead {
+			continue
+		}
+		if !f.Active() {
+			f.Dead = true
+		}
+	}
+	for i := range m.Edges {
+		e := &m.Edges[i]
+		if e.Dead {
+			continue
+		}
+		if e.Bisected() {
+			// The children survive; the parent's linkage dies with it.
+			e.Dead = true
+			delete(m.edgeByVerts, edgeKey(e.V[0], e.V[1]))
+			for _, v := range e.V {
+				lst := m.Verts[v].Edges
+				for j, x := range lst {
+					if x == EdgeID(i) {
+						lst[j] = lst[len(lst)-1]
+						m.Verts[v].Edges = lst[:len(lst)-1]
+						break
+					}
+				}
+			}
+		}
+	}
+
+	cm := m.Compact()
+
+	for i := range m.Elems {
+		t := &m.Elems[i]
+		t.Parent = InvalidElem
+		t.Root = ElemID(i)
+		t.Level = 0
+		t.Children = t.Children[:0]
+	}
+	for i := range m.Edges {
+		e := &m.Edges[i]
+		e.Parent = InvalidEdge
+		e.Child = [2]EdgeID{InvalidEdge, InvalidEdge}
+		e.Mid = InvalidVert
+	}
+	for i := range m.Faces {
+		f := &m.Faces[i]
+		f.Parent = InvalidFace
+		f.Children = f.Children[:0]
+	}
+	m.ResetLog()
+	return cm
+}

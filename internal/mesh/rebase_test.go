@@ -1,0 +1,77 @@
+package mesh
+
+import (
+	"math"
+	"testing"
+
+	"plum/internal/geom"
+)
+
+// buildRefinedFixture makes a single tet, bisects one edge, and manually
+// subdivides it 1:2 (without the adapt package, to avoid an import cycle).
+func buildRefinedFixture(t *testing.T) *Mesh {
+	t.Helper()
+	m := New(8, 16, 4)
+	v0 := m.AddVertex(geom.Vec3{})
+	v1 := m.AddVertex(geom.Vec3{X: 1})
+	v2 := m.AddVertex(geom.Vec3{Y: 1})
+	v3 := m.AddVertex(geom.Vec3{Z: 1})
+	el := m.AddElement(v0, v1, v2, v3, InvalidElem, InvalidElem, 0)
+	e01 := m.FindEdge(v0, v1)
+	mid := m.BisectEdge(e01)
+	m.DeactivateElement(el)
+	c1 := m.AddElement(v0, mid, v2, v3, el, el, 1)
+	c2 := m.AddElement(mid, v1, v2, v3, el, el, 1)
+	m.Elems[el].Children = []ElemID{c1, c2}
+	if err := m.Check(); err != nil {
+		t.Fatalf("fixture: %v", err)
+	}
+	return m
+}
+
+func TestRebasePromotesLeaves(t *testing.T) {
+	m := buildRefinedFixture(t)
+	volBefore := m.TotalVolume()
+	m.Rebase()
+	if err := m.Check(); err != nil {
+		t.Fatalf("Check after rebase: %v", err)
+	}
+	if got := len(m.Elems); got != 2 {
+		t.Fatalf("element slab = %d, want 2 (history dropped)", got)
+	}
+	for i := range m.Elems {
+		el := &m.Elems[i]
+		if el.Level != 0 || el.Parent != InvalidElem || el.Root != ElemID(i) || len(el.Children) != 0 {
+			t.Fatalf("element %d not rebased: %+v", i, *el)
+		}
+	}
+	for i := range m.Edges {
+		e := &m.Edges[i]
+		if e.Dead {
+			t.Fatalf("dead edge survived compaction")
+		}
+		if e.Bisected() || e.Parent != InvalidEdge {
+			t.Fatalf("edge %d keeps history: %+v", i, *e)
+		}
+	}
+	if math.Abs(m.TotalVolume()-volBefore) > 1e-14 {
+		t.Error("volume changed by rebase")
+	}
+}
+
+func TestRebaseIdempotentOnFreshMesh(t *testing.T) {
+	m := New(8, 16, 4)
+	v0 := m.AddVertex(geom.Vec3{})
+	v1 := m.AddVertex(geom.Vec3{X: 1})
+	v2 := m.AddVertex(geom.Vec3{Y: 1})
+	v3 := m.AddVertex(geom.Vec3{Z: 1})
+	m.AddElement(v0, v1, v2, v3, InvalidElem, InvalidElem, 0)
+	s0 := m.Stats()
+	m.Rebase()
+	if m.Stats() != s0 {
+		t.Errorf("rebase of fresh mesh changed stats: %+v -> %+v", s0, m.Stats())
+	}
+	if err := m.Check(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,131 @@
+package meshio
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"plum/internal/adapt"
+	"plum/internal/geom"
+	"plum/internal/meshgen"
+)
+
+func TestBinaryRoundTripPlain(t *testing.T) {
+	m := meshgen.SmallBox()
+	var buf bytes.Buffer
+	if err := Write(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	m2, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Stats() != m2.Stats() {
+		t.Fatalf("stats differ: %+v vs %+v", m.Stats(), m2.Stats())
+	}
+	if err := m2.Check(); err != nil {
+		t.Fatalf("restored mesh invalid: %v", err)
+	}
+	if math.Abs(m.TotalVolume()-m2.TotalVolume()) > 1e-12 {
+		t.Error("volume changed")
+	}
+}
+
+func TestBinaryRoundTripAdapted(t *testing.T) {
+	// The whole refinement forest must survive: after a round trip,
+	// coarsening must still be able to restore the initial mesh.
+	m := meshgen.SmallBox()
+	s0 := m.Stats()
+	a := adapt.New(m)
+	a.MarkRegion(geom.Sphere{Center: geom.Vec3{X: 0.5, Y: 0.5, Z: 0.5}, Radius: 0.35}, adapt.MarkRefine)
+	a.Refine()
+
+	var buf bytes.Buffer
+	if err := Write(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	m2, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Stats() != m2.Stats() {
+		t.Fatalf("stats differ after round trip: %+v vs %+v", m.Stats(), m2.Stats())
+	}
+	if err := m2.Check(); err != nil {
+		t.Fatalf("restored adapted mesh invalid: %v", err)
+	}
+
+	// Restart semantics: adaption continues on the restored mesh.
+	a2 := adapt.New(m2)
+	a2.MarkRegion(geom.All{}, adapt.MarkCoarsen)
+	a2.Coarsen()
+	s2 := m2.Stats()
+	if s2.ActiveElems != s0.ActiveElems || s2.ActiveEdges != s0.ActiveEdges {
+		t.Errorf("coarsening after restore: %+v, want %+v", s2, s0)
+	}
+}
+
+func TestReadRejectsGarbage(t *testing.T) {
+	if _, err := Read(bytes.NewReader([]byte("not a mesh"))); err == nil {
+		t.Error("garbage accepted")
+	}
+	if _, err := Read(bytes.NewReader(nil)); err == nil {
+		t.Error("empty input accepted")
+	}
+	// Truncation mid-stream.
+	m := meshgen.UnitCube()
+	var buf bytes.Buffer
+	if err := Write(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	cut := buf.Bytes()[:buf.Len()/2]
+	if _, err := Read(bytes.NewReader(cut)); err == nil {
+		t.Error("truncated input accepted")
+	}
+}
+
+func TestWriteVTK(t *testing.T) {
+	m := meshgen.UnitCube()
+	field := make([]float64, len(m.Verts))
+	for i := range field {
+		field[i] = float64(i)
+	}
+	var buf bytes.Buffer
+	if err := WriteVTK(&buf, m, map[string][]float64{"u": field}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# vtk DataFile Version 3.0",
+		"POINTS 8 double",
+		"CELLS 6 30",
+		"CELL_TYPES 6",
+		"POINT_DATA 8",
+		"SCALARS u double 1",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("VTK output missing %q", want)
+		}
+	}
+	// Every tetra line has 4 vertex ids in range.
+	if strings.Count(out, "\n4 ") != 6 {
+		t.Errorf("expected 6 tetra records")
+	}
+}
+
+func TestWriteVTKSkipsDeadVertices(t *testing.T) {
+	m := meshgen.SmallBox()
+	a := adapt.New(m)
+	a.MarkRegion(geom.Sphere{Center: geom.Vec3{}, Radius: 0.4}, adapt.MarkRefine)
+	a.Refine()
+	a.MarkRegion(geom.All{}, adapt.MarkCoarsen)
+	a.Coarsen() // leaves dead midpoint vertices before compaction
+	var buf bytes.Buffer
+	if err := WriteVTK(&buf, m, nil); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "POINTS 125 double") {
+		t.Error("dead vertices not skipped in VTK export")
+	}
+}

@@ -1,0 +1,338 @@
+package par
+
+import (
+	"plum/internal/adapt"
+	"plum/internal/machine"
+	"plum/internal/mesh"
+)
+
+// AdaptTimings reports the modeled SP2 execution time of one parallel
+// adaption phase, broken down the way the paper instruments it.
+type AdaptTimings struct {
+	// Target is the edge-marking (error indicator) phase: perfectly
+	// distributed across local edges.
+	Target float64
+	// Propagate is the iterative pattern-upgrade phase including its
+	// communication rounds.
+	Propagate float64
+	// Execute is the subdivision/removal phase.
+	Execute float64
+	// Classify is the post-refinement shared-edge classification
+	// communication (the paper's "new edge across a face" case).
+	Classify float64
+	// Total is the slowest-rank end-to-end time.
+	Total float64
+	// CommRounds is the number of propagation supersteps.
+	CommRounds int
+	// Msgs and Words count the propagation + classification traffic.
+	Msgs, Words int64
+}
+
+// patternOf mirrors the adaptor's pattern computation: local edges that
+// are marked for refinement or already bisected.
+func (d *Dist) patternOf(a *adapt.Adaptor, t *mesh.Element) adapt.Pattern {
+	var p adapt.Pattern
+	for le, e := range t.E {
+		if d.M.Edges[e].Bisected() || a.MarkOf(e) == adapt.MarkRefine {
+			p |= adapt.EdgeBit(le)
+		}
+	}
+	return p
+}
+
+// ParallelRefine executes one refinement pass of the distributed 3D_TAG
+// algorithm: rank-local marking propagation with bulk-synchronous
+// exchange of newly marked shared edges, independent subdivision of local
+// elements, and the shared-edge classification round. The mesh mutation is
+// performed by the (verified) serial kernel; the per-rank work and message
+// pattern are replayed against the ownership map and charged to the
+// machine model.
+func (d *Dist) ParallelRefine(a *adapt.Adaptor, mdl machine.Model) (adapt.RefineStats, AdaptTimings) {
+	var tm AdaptTimings
+	m := d.M
+	clk := machine.NewClock(d.P)
+
+	// --- Target phase: error indicator over local edges. ---
+	initSt := d.Init()
+	for r := 0; r < d.P; r++ {
+		clk.Add(r, float64(initSt.LocalEdges[r])*mdl.MarkEdge)
+	}
+	clk.Barrier()
+	tm.Target = clk.Elapsed()
+
+	// --- Propagation phase: local fixpoints + shared-edge exchange. ---
+	queues := make([][]mesh.ElemID, d.P)
+	queued := make([]bool, len(m.Elems))
+	push := func(el mesh.ElemID) {
+		if !queued[el] && m.Elems[el].Active() {
+			queued[el] = true
+			r := d.OwnerOf(el)
+			queues[r] = append(queues[r], el)
+		}
+	}
+	for i := range m.Elems {
+		t := &m.Elems[i]
+		if t.Active() && d.patternOf(a, t) != 0 {
+			push(mesh.ElemID(i))
+		}
+	}
+
+	var splBuf []int32
+	for {
+		tm.CommRounds++
+		visits := make([]int64, d.P)
+		// outbox[r][dst] = newly marked shared edge ids to send.
+		outbox := make([]map[int32][]int64, d.P)
+		for r := range outbox {
+			outbox[r] = make(map[int32][]int64)
+		}
+		deferred := make(map[int32][]mesh.ElemID) // remote activations this round
+
+		for r := 0; r < d.P; r++ {
+			q := queues[r]
+			queues[r] = nil
+			for len(q) > 0 {
+				el := q[len(q)-1]
+				q = q[:len(q)-1]
+				queued[el] = false
+				t := &m.Elems[el]
+				if !t.Active() {
+					continue
+				}
+				visits[r]++
+				p := d.patternOf(a, t)
+				add := p.Upgrade() &^ p
+				if add == 0 {
+					continue
+				}
+				for le := 0; le < 6; le++ {
+					if !add.Has(le) {
+						continue
+					}
+					e := t.E[le]
+					a.SetMark(e, adapt.MarkRefine)
+					spl := d.EdgeSPL(e, splBuf)
+					splBuf = spl
+					for _, nb := range m.Edges[e].Elems {
+						o := d.OwnerOf(nb)
+						if o == int32(r) {
+							if !queued[nb] && m.Elems[nb].Active() {
+								queued[nb] = true
+								q = append(q, nb)
+							}
+						} else {
+							deferred[o] = append(deferred[o], nb)
+						}
+					}
+					if len(spl) > 1 {
+						for _, o := range spl {
+							if o != int32(r) {
+								outbox[r][o] = append(outbox[r][o], int64(e))
+							}
+						}
+					}
+				}
+			}
+		}
+
+		// Charge this round's work and traffic.
+		anyMsg := false
+		for r := 0; r < d.P; r++ {
+			w := float64(visits[r]) * mdl.PropagateVisit
+			for _, edges := range outbox[r] {
+				w += mdl.MsgTime(int64(len(edges)))
+				tm.Msgs++
+				tm.Words += int64(len(edges))
+				anyMsg = true
+			}
+			clk.Add(r, w)
+		}
+		clk.Barrier()
+
+		if !anyMsg {
+			break
+		}
+		// Deliver: remote ranks re-examine elements adjacent to newly
+		// marked shared edges.
+		for _, els := range deferred {
+			for _, el := range els {
+				push(el)
+			}
+		}
+		// If the deliveries did not enqueue anything new the next round
+		// terminates immediately with no messages.
+	}
+	propEnd := clk.Elapsed()
+	tm.Propagate = propEnd - tm.Target
+
+	// --- Execution phase: bisection + subdivision, attributed by owner. ---
+	// Bisection work replicates on every rank sharing the edge.
+	marks := a.MarksSnapshot()
+	for ei := range marks {
+		if marks[ei] != adapt.MarkRefine {
+			continue
+		}
+		ed := &m.Edges[ei]
+		if ed.Dead || ed.Bisected() {
+			continue
+		}
+		spl := d.EdgeSPL(mesh.EdgeID(ei), splBuf)
+		splBuf = spl
+		for _, r := range spl {
+			clk.Add(int(r), mdl.BisectEdge)
+		}
+	}
+	// Subdivision work goes to the element's owner.
+	childCount := [4]float64{0, 2, 4, 8}
+	for i := range m.Elems {
+		t := &m.Elems[i]
+		if !t.Active() {
+			continue
+		}
+		p := d.patternOf(a, t)
+		if p == 0 {
+			continue
+		}
+		clk.Add(int(d.OwnerOf(mesh.ElemID(i))), childCount[p.Kind()]*mdl.SubdivideChild)
+	}
+	edgesBefore := len(m.Edges)
+
+	st := a.Refine()
+
+	clk.Barrier()
+	execEnd := clk.Elapsed()
+	tm.Execute = execEnd - propEnd
+
+	// --- Classification phase: new edges whose endpoint SPLs intersect
+	// require one communication to decide shared vs. internal. ---
+	type pair [2]int32
+	queries := make(map[pair]int64)
+	var vb []int32
+	for ei := edgesBefore; ei < len(m.Edges); ei++ {
+		ed := &m.Edges[ei]
+		if ed.Dead || ed.Parent != mesh.InvalidEdge {
+			continue // half-edges inherit their parent's SPL (case 2)
+		}
+		s0 := append([]int32(nil), d.VertSPL(ed.V[0], vb)...)
+		s1 := d.VertSPL(ed.V[1], vb)
+		vb = s1
+		inter := intersectSorted(s0, s1)
+		if len(inter) <= 1 {
+			continue // internal edge (cases 1 and 3)
+		}
+		for _, r := range inter {
+			for _, o := range inter {
+				if r != o {
+					queries[pair{r, o}] += 2 // edge id + verdict, in words
+				}
+			}
+		}
+	}
+	for pq, words := range queries {
+		clk.Add(int(pq[0]), mdl.MsgTime(words))
+		tm.Msgs++
+		tm.Words += words
+	}
+	clk.Barrier()
+	tm.Classify = clk.Elapsed() - execEnd
+	tm.Total = clk.Elapsed()
+	return st, tm
+}
+
+// ParallelCoarsen executes one coarsening pass with per-rank attribution:
+// marking over local edges, sibling-group removal charged to the parent's
+// owner, the conformity re-refinement charged to the new children's
+// owners, and one shared-mark consistency round.
+func (d *Dist) ParallelCoarsen(a *adapt.Adaptor, mdl machine.Model) (adapt.CoarsenStats, AdaptTimings) {
+	var tm AdaptTimings
+	m := d.M
+	clk := machine.NewClock(d.P)
+
+	initSt := d.Init()
+	for r := 0; r < d.P; r++ {
+		clk.Add(r, float64(initSt.LocalEdges[r])*mdl.MarkEdge)
+	}
+	clk.Barrier()
+	tm.Target = clk.Elapsed()
+
+	// Shared-mark consistency round: coarsen marks on shared edges are
+	// exchanged once (symmetric marking makes further rounds unneeded).
+	type pair [2]int32
+	batch := make(map[pair]int64)
+	var splBuf []int32
+	marks := a.MarksSnapshot()
+	for ei := range marks {
+		if marks[ei] != adapt.MarkCoarsen {
+			continue
+		}
+		ed := &m.Edges[ei]
+		if ed.Dead || ed.Bisected() {
+			continue
+		}
+		spl := d.EdgeSPL(mesh.EdgeID(ei), splBuf)
+		splBuf = spl
+		if len(spl) < 2 {
+			continue
+		}
+		for _, r := range spl {
+			for _, o := range spl {
+				if r != o {
+					batch[pair{r, o}]++
+				}
+			}
+		}
+	}
+	for pq, words := range batch {
+		clk.Add(int(pq[0]), mdl.MsgTime(words))
+		tm.Msgs++
+		tm.Words += words
+	}
+	clk.Barrier()
+	tm.CommRounds = 1
+	propEnd := clk.Elapsed()
+	tm.Propagate = propEnd - tm.Target
+
+	deadBefore := make([]bool, len(m.Elems))
+	for i := range m.Elems {
+		deadBefore[i] = m.Elems[i].Dead
+	}
+	nBefore := len(m.Elems)
+
+	st := a.Coarsen()
+
+	// Removal work: newly dead elements, charged to their tree's owner.
+	for i := 0; i < nBefore; i++ {
+		if m.Elems[i].Dead && !deadBefore[i] {
+			clk.Add(int(d.OwnerOf(mesh.ElemID(i))), mdl.RemoveElem)
+		}
+	}
+	// Re-refinement work: elements created during the pass.
+	for i := nBefore; i < len(m.Elems); i++ {
+		if !m.Elems[i].Dead {
+			clk.Add(int(d.OwnerOf(mesh.ElemID(i))), mdl.SubdivideChild)
+		}
+	}
+	clk.Barrier()
+	tm.Execute = clk.Elapsed() - propEnd
+	tm.Total = clk.Elapsed()
+	return st, tm
+}
+
+// intersectSorted intersects two sorted unique slices.
+func intersectSorted(a, b []int32) []int32 {
+	var out []int32
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] == b[j]:
+			out = append(out, a[i])
+			i++
+			j++
+		case a[i] < b[j]:
+			i++
+		default:
+			j++
+		}
+	}
+	return out
+}

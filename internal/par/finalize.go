@@ -1,0 +1,85 @@
+package par
+
+import (
+	"fmt"
+
+	"plum/internal/comm"
+	"plum/internal/machine"
+	"plum/internal/mesh"
+)
+
+// FinalizeResult reports the finalization phase: connecting the individual
+// subgrids into one global mesh on a host processor (needed for
+// visualization and restarts, per the paper).
+type FinalizeResult struct {
+	// Elems is the number of elements gathered (must equal the active
+	// element count of the ground-truth mesh).
+	Elems int64
+	// Words is the gathered data volume.
+	Words int64
+	// Time is the modeled gather time.
+	Time float64
+}
+
+// Finalize performs the finalization phase: every rank packs its active
+// local elements (with a globally consistent numbering — element ids are
+// already global in this implementation) and a gather on the host rank 0
+// concatenates them into a global mesh. The reassembled element count is
+// verified against the ground truth.
+func (d *Dist) Finalize(mdl machine.Model) (FinalizeResult, error) {
+	m := d.M
+
+	// Pack per-rank payloads: (elemID, v0..v3) per active element.
+	const recWords = 5
+	bufs := make([][]int64, d.P)
+	for i := range m.Elems {
+		t := &m.Elems[i]
+		if !t.Active() {
+			continue
+		}
+		r := d.OwnerOf(mesh.ElemID(i))
+		bufs[r] = append(bufs[r], int64(i), int64(t.V[0]), int64(t.V[1]), int64(t.V[2]), int64(t.V[3]))
+	}
+
+	var gathered int64
+	w := comm.NewWorld(d.P)
+	w.Run(func(c *comm.Comm) {
+		out := c.Gather(0, bufs[c.Rank()])
+		if c.Rank() != 0 {
+			return
+		}
+		seen := make(map[int64]bool)
+		var n int64
+		for _, data := range out {
+			if len(data)%recWords != 0 {
+				panic("par: torn finalize record")
+			}
+			for k := 0; k < len(data); k += recWords {
+				id := data[k]
+				if seen[id] {
+					panic(fmt.Sprintf("par: element %d gathered twice", id))
+				}
+				seen[id] = true
+				n++
+			}
+		}
+		gathered = n
+	})
+	want := int64(m.NumActiveElems())
+	if gathered != want {
+		return FinalizeResult{}, fmt.Errorf("par: gathered %d elements, mesh has %d", gathered, want)
+	}
+
+	res := FinalizeResult{Elems: gathered}
+	clk := machine.NewClock(d.P)
+	for r := 1; r < d.P; r++ {
+		words := int64(len(bufs[r]))
+		res.Words += words
+		clk.Add(r, mdl.MsgTime(words))
+		// The host pays the receive cost serially.
+		clk.Add(0, float64(words)*mdl.UnpackWord)
+	}
+	clk.Barrier()
+	res.Time = clk.Elapsed()
+	return res, nil
+}

@@ -1,0 +1,87 @@
+package par
+
+import (
+	"testing"
+
+	"plum/internal/adapt"
+	"plum/internal/mesh"
+)
+
+func TestGlobalNumbering(t *testing.T) {
+	d, a, _ := fixture(t, 4)
+	a.MarkRandom(0.08, adapt.MarkRefine, 21)
+	a.Refine()
+
+	gn := d.Number()
+	if gn.NumElems != int64(d.M.NumActiveElems()) {
+		t.Fatalf("NumElems = %d, want %d", gn.NumElems, d.M.NumActiveElems())
+	}
+	if gn.NumVerts != int64(d.M.NumVerts()) {
+		t.Fatalf("NumVerts = %d, want %d", gn.NumVerts, d.M.NumVerts())
+	}
+
+	// Element numbers: a bijection onto [0, NumElems) over active
+	// elements.
+	seenE := make(map[int64]bool)
+	for ei := range d.M.Elems {
+		g := gn.Elem[ei]
+		if d.M.Elems[ei].Active() {
+			if g < 0 || g >= gn.NumElems {
+				t.Fatalf("element %d: global id %d out of range", ei, g)
+			}
+			if seenE[g] {
+				t.Fatalf("global element id %d duplicated", g)
+			}
+			seenE[g] = true
+		} else if g != -1 {
+			t.Fatalf("inactive element %d numbered %d", ei, g)
+		}
+	}
+
+	// Vertex numbers: bijection over live vertices; shared vertices get
+	// exactly one id (owned by the smallest SPL rank).
+	seenV := make(map[int64]bool)
+	for vi := range d.M.Verts {
+		g := gn.Vert[vi]
+		v := &d.M.Verts[vi]
+		if v.Dead || len(v.Edges) == 0 {
+			if g != -1 {
+				t.Fatalf("dead vertex %d numbered", vi)
+			}
+			continue
+		}
+		if g < 0 || g >= gn.NumVerts {
+			t.Fatalf("vertex %d: global id %d out of range", vi, g)
+		}
+		if seenV[g] {
+			t.Fatalf("global vertex id %d duplicated", g)
+		}
+		seenV[g] = true
+	}
+
+	// Ranges per owner are contiguous and ordered by rank: the smallest
+	// global element id owned by rank r+1 exceeds all ids of rank r.
+	var lastMax int64 = -1
+	for r := int32(0); r < int32(d.P); r++ {
+		var lo, hi int64 = 1 << 62, -1
+		for ei := range d.M.Elems {
+			if !d.M.Elems[ei].Active() || d.OwnerOf(mesh.ElemID(ei)) != r {
+				continue
+			}
+			g := gn.Elem[ei]
+			if g < lo {
+				lo = g
+			}
+			if g > hi {
+				hi = g
+			}
+		}
+		if hi < 0 {
+			continue // rank owns nothing
+		}
+		if lo <= lastMax {
+			t.Fatalf("rank %d id range [%d,%d] overlaps previous ranks", r, lo, hi)
+		}
+		lastMax = hi
+	}
+}

@@ -1,0 +1,101 @@
+package par
+
+import (
+	"math"
+	"testing"
+
+	"plum/internal/adapt"
+	"plum/internal/geom"
+	"plum/internal/machine"
+	"plum/internal/meshgen"
+)
+
+func TestParallelCoarsenMatchesSerial(t *testing.T) {
+	// Identical marks must produce identical meshes regardless of the
+	// execution path (serial kernel vs. distributed replay).
+	serialM := meshgen.SmallBox()
+	serialA := adapt.New(serialM)
+	serialA.MarkRandom(0.12, adapt.MarkRefine, 31)
+	serialA.Refine()
+	serialA.MarkRandom(0.2, adapt.MarkCoarsen, 32)
+	serialSt := serialA.Coarsen()
+
+	d, a, _ := fixture(t, 4)
+	a.MarkRandom(0.12, adapt.MarkRefine, 31)
+	d.ParallelRefine(a, machine.SP2())
+	a.MarkRandom(0.2, adapt.MarkCoarsen, 32)
+	parSt, _ := d.ParallelCoarsen(a, machine.SP2())
+
+	if serialSt.GroupsRemoved != parSt.GroupsRemoved ||
+		serialSt.ElemsRemoved != parSt.ElemsRemoved {
+		t.Errorf("coarsen stats differ: serial %+v, parallel %+v", serialSt, parSt)
+	}
+	if serialM.NumActiveElems() != d.M.NumActiveElems() ||
+		serialM.NumActiveEdges() != d.M.NumActiveEdges() {
+		t.Errorf("meshes differ: %v vs %v", serialM.Stats(), d.M.Stats())
+	}
+	if math.Abs(serialM.TotalVolume()-d.M.TotalVolume()) > 1e-12 {
+		t.Error("volumes differ")
+	}
+}
+
+func TestAdaptAfterRemap(t *testing.T) {
+	// The pipeline must keep working after ownership changed: refine,
+	// remap everything around, refine again, and verify the distributed
+	// bookkeeping (SPLs, loads) stays consistent.
+	d, a, g := fixture(t, 4)
+	a.MarkRegion(geom.Sphere{Center: geom.Vec3{}, Radius: 0.5}, adapt.MarkRefine)
+	d.ParallelRefine(a, machine.SP2())
+	g.UpdateWeights(d.M)
+
+	// Rotate ownership: rank r -> (r+1) mod 4.
+	newOwner := d.Owners()
+	for v := range newOwner {
+		newOwner[v] = (newOwner[v] + 1) % 4
+	}
+	if _, err := d.ExecuteRemap(newOwner, machine.SP2()); err != nil {
+		t.Fatal(err)
+	}
+
+	// Loads must have rotated with the trees.
+	loads := d.RankLoads()
+	var total int64
+	for _, l := range loads {
+		total += l
+	}
+	if total != int64(d.M.NumActiveElems()) {
+		t.Fatalf("loads sum %d != %d after remap", total, d.M.NumActiveElems())
+	}
+
+	// A second adaption on the remapped distribution must stay valid and
+	// produce sane timings.
+	a.MarkRegion(geom.Sphere{Center: geom.Vec3{X: 1, Y: 1, Z: 1}, Radius: 0.4}, adapt.MarkRefine)
+	_, tm := d.ParallelRefine(a, machine.SP2())
+	if tm.Total <= 0 {
+		t.Error("no timing after remap")
+	}
+	if err := d.M.Check(); err != nil {
+		t.Fatalf("mesh invalid after remap+refine: %v", err)
+	}
+	st := d.Init()
+	if st.SharedEdges == 0 {
+		t.Error("no shared edges after remap")
+	}
+}
+
+func TestFinalizeAfterCoarsenToInitial(t *testing.T) {
+	// Gather on a mesh that went through a full refine/coarsen cycle
+	// (dead objects present, pre-compaction).
+	d, a, _ := fixture(t, 4)
+	a.MarkRandom(0.1, adapt.MarkRefine, 51)
+	a.Refine()
+	a.MarkRegion(geom.All{}, adapt.MarkCoarsen)
+	a.Coarsen()
+	res, err := d.Finalize(machine.SP2())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Elems != 384 {
+		t.Errorf("gathered %d, want 384", res.Elems)
+	}
+}

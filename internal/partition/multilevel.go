@@ -1,0 +1,247 @@
+package partition
+
+import (
+	"math/rand"
+
+	"plum/internal/dual"
+	"plum/internal/geom"
+)
+
+// Multilevel partitions by the Chaco-style multilevel scheme: the dual
+// graph is coarsened by repeated edge matchings until it is small, the
+// coarse graph is partitioned spectrally, and the partition is projected
+// back up with Fiduccia–Mattheyses boundary refinement at every level.
+func Multilevel(g *dual.Graph, k int) Assignment {
+	const coarseTarget = 200
+	target := coarseTarget
+	if 4*k > target {
+		target = 4 * k
+	}
+
+	// Coarsening chain.
+	type level struct {
+		g    *dual.Graph
+		map_ []int32 // fine vertex -> coarse vertex (nil for the finest)
+	}
+	levels := []level{{g: g}}
+	cur := g
+	for cur.N > target {
+		cg, cmap := coarsen(cur, int64(len(levels)))
+		if cg.N >= cur.N*9/10 {
+			break // matching stalled; stop coarsening
+		}
+		levels = append(levels, level{g: cg, map_: cmap})
+		cur = cg
+	}
+
+	// Initial partition of the coarsest graph.
+	asg := SpectralRB(cur, k)
+	FMRefine(cur, asg, k, 4)
+
+	// Uncoarsen with refinement.
+	for li := len(levels) - 1; li >= 1; li-- {
+		fine := levels[li-1].g
+		cmap := levels[li].map_
+		fineAsg := make(Assignment, fine.N)
+		for v := range fineAsg {
+			fineAsg[v] = asg[cmap[v]]
+		}
+		asg = fineAsg
+		FMRefine(fine, asg, k, 2)
+	}
+	return asg
+}
+
+// coarsen contracts a random maximal matching of g, returning the coarse
+// graph and the fine→coarse vertex map. Matched pairs merge their weights;
+// parallel coarse edges are collapsed.
+func coarsen(g *dual.Graph, seed int64) (*dual.Graph, []int32) {
+	rng := rand.New(rand.NewSource(seed))
+	order := rng.Perm(g.N)
+	match := make([]int32, g.N)
+	for i := range match {
+		match[i] = -1
+	}
+	cmap := make([]int32, g.N)
+	for i := range cmap {
+		cmap[i] = -1
+	}
+	var nc int32
+	for _, vi := range order {
+		v := int32(vi)
+		if cmap[v] >= 0 {
+			continue
+		}
+		// Prefer the heaviest unmatched neighbour (heavy-vertex matching
+		// keeps coarse weights even).
+		var best int32 = -1
+		for _, w := range g.Adj[v] {
+			if cmap[w] >= 0 {
+				continue
+			}
+			if best < 0 || g.Wcomp[w] > g.Wcomp[best] {
+				best = w
+			}
+		}
+		cmap[v] = nc
+		if best >= 0 {
+			cmap[best] = nc
+			match[v] = best
+		}
+		nc++
+	}
+
+	cg := &dual.Graph{
+		N:          int(nc),
+		Adj:        make([][]int32, nc),
+		Wcomp:      make([]int64, nc),
+		Wremap:     make([]int64, nc),
+		EdgeWeight: g.EdgeWeight,
+		Centroid:   make([]geom.Vec3, nc),
+	}
+	cnt := make([]float64, nc)
+	for v := 0; v < g.N; v++ {
+		c := cmap[v]
+		cg.Wcomp[c] += g.Wcomp[v]
+		cg.Wremap[c] += g.Wremap[v]
+		cg.Centroid[c] = cg.Centroid[c].Add(g.Centroid[v])
+		cnt[c]++
+	}
+	for c := range cg.Centroid {
+		if cnt[c] > 0 {
+			cg.Centroid[c] = cg.Centroid[c].Scale(1 / cnt[c])
+		}
+	}
+	seen := make(map[[2]int32]bool)
+	for v := 0; v < g.N; v++ {
+		cv := cmap[v]
+		for _, w := range g.Adj[v] {
+			cw := cmap[w]
+			if cv == cw {
+				continue
+			}
+			a, b := cv, cw
+			if a > b {
+				a, b = b, a
+			}
+			key := [2]int32{a, b}
+			if !seen[key] {
+				seen[key] = true
+				cg.Adj[a] = append(cg.Adj[a], b)
+				cg.Adj[b] = append(cg.Adj[b], a)
+			}
+		}
+	}
+	return cg, cmap
+}
+
+// FMRefine performs Fiduccia–Mattheyses-style boundary refinement on a
+// k-way assignment in place: boundary vertices greedily move to adjacent
+// parts when the move reduces the edge cut without violating the balance
+// tolerance, or when it strictly improves balance at equal cut. passes
+// bounds the number of sweeps.
+func FMRefine(g *dual.Graph, asg Assignment, k, passes int) {
+	if k <= 1 {
+		return
+	}
+	w := Weights(g, asg, k)
+	var total int64
+	for _, x := range w {
+		total += x
+	}
+	avg := float64(total) / float64(k)
+	maxW := int64(avg * 1.03) // 3% balance tolerance
+	if maxW < 1 {
+		maxW = 1
+	}
+
+	conn := make([]int32, k) // scratch: edges from v into each part
+	for pass := 0; pass < passes; pass++ {
+		moved := 0
+		for v := 0; v < g.N; v++ {
+			a := asg[v]
+			boundary := false
+			for _, u := range g.Adj[v] {
+				if asg[u] != a {
+					boundary = true
+				}
+			}
+			if !boundary {
+				continue
+			}
+			for i := range conn {
+				conn[i] = 0
+			}
+			for _, u := range g.Adj[v] {
+				conn[asg[u]]++
+			}
+			bestPart := a
+			bestGain := int32(0)
+			for _, u := range g.Adj[v] {
+				b := asg[u]
+				if b == a || b == bestPart {
+					continue
+				}
+				gain := conn[b] - conn[a]
+				fits := w[b]+g.Wcomp[v] <= maxW
+				better := gain > bestGain && fits
+				balances := gain == bestGain && bestPart == a && w[b]+g.Wcomp[v] < w[a]
+				if better || (balances && fits) {
+					bestPart = b
+					bestGain = gain
+				}
+			}
+			if bestPart != a {
+				asg[v] = bestPart
+				w[a] -= g.Wcomp[v]
+				w[bestPart] += g.Wcomp[v]
+				moved++
+			}
+		}
+		if moved == 0 {
+			break
+		}
+	}
+
+	// Overflow pass: gain-driven moves alone cannot rescue a badly
+	// imbalanced input (all zero- and positive-gain moves may be
+	// exhausted), so force boundary vertices out of overloaded parts into
+	// their lightest neighbouring part, accepting cut damage. Repeat
+	// until every part fits or no boundary vertex can leave.
+	for iter := 0; iter < 2*k; iter++ {
+		over := -1
+		for p := 0; p < k; p++ {
+			if w[p] > maxW && (over < 0 || w[p] > w[over]) {
+				over = p
+			}
+		}
+		if over < 0 {
+			return
+		}
+		moved := false
+		for v := 0; v < g.N && w[over] > maxW; v++ {
+			if asg[v] != int32(over) {
+				continue
+			}
+			best := int32(-1)
+			for _, u := range g.Adj[v] {
+				b := asg[u]
+				if b == int32(over) {
+					continue
+				}
+				if best < 0 || w[b] < w[best] {
+					best = b
+				}
+			}
+			if best >= 0 && w[best]+g.Wcomp[v] <= maxW {
+				asg[v] = best
+				w[over] -= g.Wcomp[v]
+				w[best] += g.Wcomp[v]
+				moved = true
+			}
+		}
+		if !moved {
+			return
+		}
+	}
+}

@@ -1,0 +1,362 @@
+// Package partition provides weighted graph partitioners for the dual
+// graph, standing in for the Chaco package the paper uses ("multilevel
+// spectral Lanczos partitioning algorithm with local Kernighan-Lin
+// refinement"). The paper treats the partitioner as a pluggable black box;
+// this package supplies the same family:
+//
+//   - GraphGrow:  greedy BFS graph growing (fast, moderate quality);
+//   - InertialRB: recursive coordinate bisection along principal axes;
+//   - SpectralRB: recursive spectral bisection using Lanczos Fiedler
+//     vectors (internal/sparse);
+//   - Multilevel: matching-based coarsening, spectral partitioning of the
+//     coarse graph, and Kernighan–Lin/Fiduccia–Mattheyses boundary
+//     refinement during uncoarsening — the Chaco-style default.
+//
+// All partitioners balance the dual graph's computational weights Wcomp.
+package partition
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+
+	"plum/internal/dual"
+	"plum/internal/geom"
+	"plum/internal/sparse"
+)
+
+// Assignment maps each dual-graph vertex to a partition number.
+type Assignment []int32
+
+// Clone returns a copy of the assignment.
+func (a Assignment) Clone() Assignment { return append(Assignment(nil), a...) }
+
+// Weights returns the total Wcomp per partition.
+func Weights(g *dual.Graph, asg Assignment, k int) []int64 {
+	w := make([]int64, k)
+	for v, p := range asg {
+		w[p] += g.Wcomp[v]
+	}
+	return w
+}
+
+// Imbalance returns the paper's load-imbalance factor Wmax/Wavg for the
+// given partitioning (1.0 is perfect balance).
+func Imbalance(g *dual.Graph, asg Assignment, k int) float64 {
+	w := Weights(g, asg, k)
+	var max, sum int64
+	for _, x := range w {
+		sum += x
+		if x > max {
+			max = x
+		}
+	}
+	if sum == 0 {
+		return 1
+	}
+	avg := float64(sum) / float64(k)
+	return float64(max) / avg
+}
+
+// EdgeCut returns the number of dual edges crossing partition boundaries
+// (uniform edge weights, as in the paper's test cases).
+func EdgeCut(g *dual.Graph, asg Assignment) int64 {
+	var cut int64
+	for v := range g.Adj {
+		for _, w := range g.Adj[v] {
+			if int32(v) < w && asg[v] != asg[w] {
+				cut++
+			}
+		}
+	}
+	return cut * g.EdgeWeight
+}
+
+// Method selects a partitioning algorithm.
+type Method int
+
+// Available partitioners.
+const (
+	MethodGraphGrow Method = iota
+	MethodInertial
+	MethodSpectral
+	MethodMultilevel
+)
+
+// String implements fmt.Stringer.
+func (m Method) String() string {
+	switch m {
+	case MethodGraphGrow:
+		return "graphgrow"
+	case MethodInertial:
+		return "inertial"
+	case MethodSpectral:
+		return "spectral"
+	case MethodMultilevel:
+		return "multilevel"
+	}
+	return "unknown"
+}
+
+// Partition divides g into k parts with the chosen method.
+func Partition(g *dual.Graph, k int, m Method) Assignment {
+	switch m {
+	case MethodGraphGrow:
+		return GraphGrow(g, k, 1)
+	case MethodInertial:
+		return InertialRB(g, k)
+	case MethodSpectral:
+		return SpectralRB(g, k)
+	default:
+		return Multilevel(g, k)
+	}
+}
+
+// GraphGrow partitions by growing all k regions simultaneously from
+// spread-out seeds: at every step the lightest part with a live frontier
+// absorbs one unassigned neighbour. Growing lightest-first makes the
+// result balanced by construction even at high k, where sequential growth
+// leaves the last parts only fragmented leftovers.
+func GraphGrow(g *dual.Graph, k int, seed int64) Assignment {
+	asg := make(Assignment, g.N)
+	for i := range asg {
+		asg[i] = -1
+	}
+	if k <= 1 {
+		for i := range asg {
+			asg[i] = 0
+		}
+		return asg
+	}
+	rng := rand.New(rand.NewSource(seed))
+	wts := make([]int64, k)
+	frontiers := make([][]int32, k)
+
+	// Seeds: strided over the vertex order (spatially coherent for
+	// generated meshes), jittered a little so equal-weight ties differ
+	// between runs with different seeds.
+	for p := 0; p < k; p++ {
+		s := int32((p*g.N + g.N/2) / k)
+		for asg[s] >= 0 {
+			s = int32(rng.Intn(g.N))
+		}
+		asg[s] = int32(p)
+		wts[p] += g.Wcomp[s]
+		frontiers[p] = append(frontiers[p], s)
+	}
+
+	assigned := k
+	stuck := 0 // parts whose frontier is exhausted
+	for assigned < g.N {
+		// Lightest part with a live frontier grows next.
+		p := -1
+		for q := 0; q < k; q++ {
+			if len(frontiers[q]) > 0 && (p < 0 || wts[q] < wts[p]) {
+				p = q
+			}
+		}
+		if p < 0 {
+			// All frontiers exhausted (disconnected remainder): re-seed
+			// the lightest part at an arbitrary unassigned vertex.
+			p = argminW(wts)
+			for v := range asg {
+				if asg[v] < 0 {
+					asg[v] = int32(p)
+					wts[p] += g.Wcomp[v]
+					frontiers[p] = append(frontiers[p], int32(v))
+					assigned++
+					break
+				}
+			}
+			stuck++
+			if stuck > g.N {
+				break // defensive: cannot happen on a finite graph
+			}
+			continue
+		}
+		// Absorb one unassigned neighbour of p's frontier.
+		grew := false
+		for len(frontiers[p]) > 0 && !grew {
+			v := frontiers[p][0]
+			nbrs := g.Adj[v]
+			for _, u := range nbrs {
+				if asg[u] < 0 {
+					asg[u] = int32(p)
+					wts[p] += g.Wcomp[u]
+					frontiers[p] = append(frontiers[p], u)
+					assigned++
+					grew = true
+					break
+				}
+			}
+			if !grew {
+				// v has no unassigned neighbours left; retire it.
+				frontiers[p] = frontiers[p][1:]
+			}
+		}
+	}
+	// A refinement pass smooths the growth fronts.
+	FMRefine(g, asg, k, 2)
+	return asg
+}
+
+func argminW(w []int64) int {
+	best := 0
+	for i, x := range w {
+		if x < w[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+// InertialRB partitions by recursive inertial bisection: each subdomain is
+// split at the weighted median of element centroids projected onto the
+// subdomain's principal axis.
+func InertialRB(g *dual.Graph, k int) Assignment {
+	asg := make(Assignment, g.N)
+	idxs := make([]int32, g.N)
+	for i := range idxs {
+		idxs[i] = int32(i)
+	}
+	recursiveBisect(g, idxs, 0, k, asg, func(sub []int32) []float64 {
+		axis := principalAxis(g, sub)
+		vals := make([]float64, len(sub))
+		for i, v := range sub {
+			vals[i] = g.Centroid[v].Dot(axis)
+		}
+		return vals
+	})
+	return asg
+}
+
+// SpectralRB partitions by recursive spectral bisection: each subdomain is
+// split at the weighted median of its Fiedler vector (Lanczos, see
+// internal/sparse).
+func SpectralRB(g *dual.Graph, k int) Assignment {
+	asg := make(Assignment, g.N)
+	idxs := make([]int32, g.N)
+	for i := range idxs {
+		idxs[i] = int32(i)
+	}
+	recursiveBisect(g, idxs, 0, k, asg, func(sub []int32) []float64 {
+		return subgraphFiedler(g, sub)
+	})
+	return asg
+}
+
+// recursiveBisect splits idxs into k parts numbered [base, base+k),
+// writing into asg. value computes, for a subset, the 1-D embedding to
+// split at the weighted median.
+func recursiveBisect(g *dual.Graph, idxs []int32, base, k int, asg Assignment, value func([]int32) []float64) {
+	if k <= 1 {
+		for _, v := range idxs {
+			asg[v] = int32(base)
+		}
+		return
+	}
+	k1 := (k + 1) / 2
+	frac := float64(k1) / float64(k)
+	vals := value(idxs)
+
+	ord := make([]int, len(idxs))
+	for i := range ord {
+		ord[i] = i
+	}
+	sort.Slice(ord, func(a, b int) bool { return vals[ord[a]] < vals[ord[b]] })
+
+	var total int64
+	for _, v := range idxs {
+		total += g.Wcomp[v]
+	}
+	targetW := int64(frac * float64(total))
+	var acc int64
+	split := 0
+	for split < len(ord) && acc < targetW {
+		acc += g.Wcomp[idxs[ord[split]]]
+		split++
+	}
+	// Never produce an empty side when both sides need vertices.
+	if split == 0 {
+		split = 1
+	}
+	if split == len(ord) && len(ord) > 1 {
+		split = len(ord) - 1
+	}
+	left := make([]int32, 0, split)
+	right := make([]int32, 0, len(ord)-split)
+	for i, o := range ord {
+		if i < split {
+			left = append(left, idxs[o])
+		} else {
+			right = append(right, idxs[o])
+		}
+	}
+	recursiveBisect(g, left, base, k1, asg, value)
+	recursiveBisect(g, right, base+k1, k-k1, asg, value)
+}
+
+// principalAxis returns the dominant eigenvector of the weighted
+// covariance of the subset's centroids (power iteration on the 3×3
+// covariance matrix).
+func principalAxis(g *dual.Graph, sub []int32) geom.Vec3 {
+	var mean geom.Vec3
+	var wsum float64
+	for _, v := range sub {
+		w := float64(g.Wcomp[v])
+		mean = mean.Add(g.Centroid[v].Scale(w))
+		wsum += w
+	}
+	if wsum == 0 {
+		return geom.Vec3{X: 1}
+	}
+	mean = mean.Scale(1 / wsum)
+	var c [3][3]float64
+	for _, v := range sub {
+		d := g.Centroid[v].Sub(mean)
+		w := float64(g.Wcomp[v])
+		p := [3]float64{d.X, d.Y, d.Z}
+		for i := 0; i < 3; i++ {
+			for j := 0; j < 3; j++ {
+				c[i][j] += w * p[i] * p[j]
+			}
+		}
+	}
+	x := [3]float64{1, 0.7, 0.4} // deterministic, unlikely to be orthogonal
+	for it := 0; it < 50; it++ {
+		var y [3]float64
+		for i := 0; i < 3; i++ {
+			for j := 0; j < 3; j++ {
+				y[i] += c[i][j] * x[j]
+			}
+		}
+		n := y[0]*y[0] + y[1]*y[1] + y[2]*y[2]
+		if n == 0 {
+			break
+		}
+		inv := 1 / math.Sqrt(n)
+		for i := range y {
+			y[i] *= inv
+		}
+		x = y
+	}
+	return geom.Vec3{X: x[0], Y: x[1], Z: x[2]}
+}
+
+// subgraphFiedler computes the Fiedler embedding of the induced subgraph.
+func subgraphFiedler(g *dual.Graph, sub []int32) []float64 {
+	local := make(map[int32]int32, len(sub))
+	for i, v := range sub {
+		local[v] = int32(i)
+	}
+	adj := make([][]int32, len(sub))
+	for i, v := range sub {
+		for _, w := range g.Adj[v] {
+			if lw, ok := local[w]; ok {
+				adj[i] = append(adj[i], lw)
+			}
+		}
+	}
+	L := sparse.Laplacian(adj)
+	return sparse.Fiedler(L, 60, 1e-4, 42)
+}

@@ -1,0 +1,161 @@
+package partition
+
+import (
+	"testing"
+
+	"plum/internal/adapt"
+	"plum/internal/dual"
+	"plum/internal/geom"
+	"plum/internal/meshgen"
+)
+
+func testGraph(t *testing.T) *dual.Graph {
+	t.Helper()
+	m := meshgen.Box(6, 6, 6, geom.Vec3{X: 1, Y: 1, Z: 1})
+	return dual.Build(m)
+}
+
+func checkAssignment(t *testing.T, g *dual.Graph, asg Assignment, k int, method string, maxImb float64) {
+	t.Helper()
+	if len(asg) != g.N {
+		t.Fatalf("%s: assignment length %d != %d", method, len(asg), g.N)
+	}
+	seen := make([]int64, k)
+	for v, p := range asg {
+		if p < 0 || int(p) >= k {
+			t.Fatalf("%s: vertex %d assigned to invalid part %d", method, v, p)
+		}
+		seen[p]++
+	}
+	for p, n := range seen {
+		if n == 0 {
+			t.Errorf("%s: part %d empty", method, p)
+		}
+	}
+	if imb := Imbalance(g, asg, k); imb > maxImb {
+		t.Errorf("%s: imbalance %.3f > %.3f", method, imb, maxImb)
+	}
+	if cut := EdgeCut(g, asg); cut <= 0 {
+		t.Errorf("%s: edge cut %d (no boundary?)", method, cut)
+	}
+}
+
+func TestPartitionersUniformWeights(t *testing.T) {
+	g := testGraph(t)
+	for _, m := range []Method{MethodGraphGrow, MethodInertial, MethodSpectral, MethodMultilevel} {
+		for _, k := range []int{2, 4, 7, 8} {
+			asg := Partition(g, k, m)
+			checkAssignment(t, g, asg, k, m.String(), 1.35)
+		}
+	}
+}
+
+func TestPartitionQualityOrdering(t *testing.T) {
+	// Spectral/multilevel should not be wildly worse than graph growing
+	// on a regular box (sanity on cut quality).
+	g := testGraph(t)
+	k := 8
+	cutGrow := EdgeCut(g, GraphGrow(g, k, 1))
+	cutML := EdgeCut(g, Multilevel(g, k))
+	if cutML > 3*cutGrow {
+		t.Errorf("multilevel cut %d vs graphgrow %d: multilevel much worse", cutML, cutGrow)
+	}
+}
+
+func TestPartitionAdaptedWeights(t *testing.T) {
+	// After refining a corner region, the partitioner must still balance
+	// Wcomp within tolerance — this is the repartitioning step of the
+	// paper's framework.
+	m := meshgen.Box(6, 6, 6, geom.Vec3{X: 1, Y: 1, Z: 1})
+	g := dual.Build(m)
+	a := adapt.New(m)
+	a.MarkRegion(geom.Sphere{Center: geom.Vec3{}, Radius: 0.5}, adapt.MarkRefine)
+	a.Refine()
+	g.UpdateWeights(m)
+
+	if Imbalance(g, Partition(g, 8, MethodGraphGrow), 8) > 1.5 {
+		// Graph growing is weight-aware; the refined corner must not
+		// produce a wildly imbalanced partition.
+		t.Error("graphgrow ignored adapted weights")
+	}
+	for _, meth := range []Method{MethodInertial, MethodSpectral, MethodMultilevel} {
+		asg := Partition(g, 8, meth)
+		if imb := Imbalance(g, asg, 8); imb > 1.6 {
+			t.Errorf("%s: imbalance %.3f on adapted weights", meth, imb)
+		}
+	}
+}
+
+func TestImbalancePerfect(t *testing.T) {
+	g := &dual.Graph{
+		N:          4,
+		Adj:        [][]int32{{1}, {0, 2}, {1, 3}, {2}},
+		Wcomp:      []int64{1, 1, 1, 1},
+		Wremap:     []int64{1, 1, 1, 1},
+		EdgeWeight: 1,
+	}
+	asg := Assignment{0, 0, 1, 1}
+	if imb := Imbalance(g, asg, 2); imb != 1 {
+		t.Errorf("imbalance = %g, want 1", imb)
+	}
+	if cut := EdgeCut(g, asg); cut != 1 {
+		t.Errorf("cut = %d, want 1", cut)
+	}
+	w := Weights(g, asg, 2)
+	if w[0] != 2 || w[1] != 2 {
+		t.Errorf("weights = %v", w)
+	}
+}
+
+func TestFMRefineImprovesCut(t *testing.T) {
+	g := testGraph(t)
+	// Deliberately bad partition: odd/even striping.
+	asg := make(Assignment, g.N)
+	for i := range asg {
+		asg[i] = int32(i % 2)
+	}
+	before := EdgeCut(g, asg)
+	FMRefine(g, asg, 2, 8)
+	after := EdgeCut(g, asg)
+	if after >= before {
+		t.Errorf("FM did not improve cut: %d -> %d", before, after)
+	}
+	if imb := Imbalance(g, asg, 2); imb > 1.2 {
+		t.Errorf("FM broke balance: %.3f", imb)
+	}
+}
+
+func TestPartitionSinglePart(t *testing.T) {
+	g := testGraph(t)
+	asg := Partition(g, 1, MethodMultilevel)
+	for _, p := range asg {
+		if p != 0 {
+			t.Fatal("k=1 must assign everything to part 0")
+		}
+	}
+}
+
+func TestAgglomerate(t *testing.T) {
+	g := testGraph(t)
+	cg, group := g.Agglomerate(8)
+	if cg.N >= g.N {
+		t.Fatalf("agglomeration did not shrink: %d -> %d", g.N, cg.N)
+	}
+	if len(group) != g.N {
+		t.Fatal("group map wrong length")
+	}
+	if cg.TotalWcomp() != g.TotalWcomp() {
+		t.Errorf("weight not conserved: %d != %d", cg.TotalWcomp(), g.TotalWcomp())
+	}
+	// Partitioning the agglomerated graph must still work.
+	asg := Partition(cg, 4, MethodMultilevel)
+	checkAssignment(t, cg, asg, 4, "agglomerated", 1.6)
+}
+
+func TestMethodString(t *testing.T) {
+	for _, m := range []Method{MethodGraphGrow, MethodInertial, MethodSpectral, MethodMultilevel} {
+		if m.String() == "unknown" {
+			t.Errorf("method %d has no name", m)
+		}
+	}
+}

@@ -1,0 +1,141 @@
+// Package quality computes tetrahedral mesh-quality metrics: aspect
+// ratios, dihedral angles, and volume statistics. The 3D_TAG subdivision
+// templates are not quality-preserving in general (anisotropic 1:2 and
+// 1:4 splits flatten elements), so the adaption loop monitors these
+// metrics; the isotropic 1:8 split keeps the corner children similar to
+// the parent.
+package quality
+
+import (
+	"fmt"
+	"math"
+
+	"plum/internal/geom"
+	"plum/internal/mesh"
+)
+
+// Report summarizes the quality of the active elements of a mesh.
+type Report struct {
+	// Elements is the number of active elements measured.
+	Elements int
+	// MinVolume and MaxVolume bound the element volumes.
+	MinVolume, MaxVolume float64
+	// MeanAspect and MaxAspect describe the longest/shortest edge ratio.
+	MeanAspect, MaxAspect float64
+	// MinDihedralDeg and MaxDihedralDeg bound the dihedral angles over
+	// all elements, in degrees.
+	MinDihedralDeg, MaxDihedralDeg float64
+	// AspectHistogram counts elements in the buckets
+	// (≤1.5, ≤2, ≤3, ≤5, ≤10, >10].
+	AspectHistogram [6]int
+}
+
+// aspectLimits are the histogram bucket upper bounds.
+var aspectLimits = []float64{1.5, 2, 3, 5, 10}
+
+// Measure computes the quality report for the mesh's active elements.
+func Measure(m *mesh.Mesh) Report {
+	r := Report{
+		MinVolume:      math.Inf(1),
+		MinDihedralDeg: math.Inf(1),
+	}
+	var aspectSum float64
+	for i := range m.Elems {
+		t := &m.Elems[i]
+		if !t.Active() {
+			continue
+		}
+		r.Elements++
+		a := m.Verts[t.V[0]].Pos
+		b := m.Verts[t.V[1]].Pos
+		c := m.Verts[t.V[2]].Pos
+		d := m.Verts[t.V[3]].Pos
+
+		v := geom.TetVolume(a, b, c, d)
+		if v < r.MinVolume {
+			r.MinVolume = v
+		}
+		if v > r.MaxVolume {
+			r.MaxVolume = v
+		}
+
+		ar := geom.TetAspectRatio(a, b, c, d)
+		aspectSum += ar
+		if ar > r.MaxAspect {
+			r.MaxAspect = ar
+		}
+		k := len(aspectLimits)
+		for j, l := range aspectLimits {
+			if ar <= l {
+				k = j
+				break
+			}
+		}
+		r.AspectHistogram[k]++
+
+		lo, hi := dihedralRange(a, b, c, d)
+		if lo < r.MinDihedralDeg {
+			r.MinDihedralDeg = lo
+		}
+		if hi > r.MaxDihedralDeg {
+			r.MaxDihedralDeg = hi
+		}
+	}
+	if r.Elements > 0 {
+		r.MeanAspect = aspectSum / float64(r.Elements)
+	} else {
+		r.MinVolume = 0
+		r.MinDihedralDeg = 0
+	}
+	return r
+}
+
+// dihedralRange returns the smallest and largest dihedral angle (degrees)
+// of the tetrahedron over its six edges.
+func dihedralRange(a, b, c, d geom.Vec3) (lo, hi float64) {
+	pts := [4]geom.Vec3{a, b, c, d}
+	lo, hi = math.Inf(1), 0
+	// For each edge (i,j), the dihedral angle is between the two faces
+	// that share it; face normals computed with the opposite vertices.
+	for i := 0; i < 4; i++ {
+		for j := i + 1; j < 4; j++ {
+			var rest []int
+			for k := 0; k < 4; k++ {
+				if k != i && k != j {
+					rest = append(rest, k)
+				}
+			}
+			// Faces (i, j, rest[0]) and (i, j, rest[1]).
+			e := pts[j].Sub(pts[i])
+			n1 := e.Cross(pts[rest[0]].Sub(pts[i]))
+			n2 := e.Cross(pts[rest[1]].Sub(pts[i]))
+			denom := n1.Norm() * n2.Norm()
+			if denom == 0 {
+				continue
+			}
+			cos := n1.Dot(n2) / denom
+			if cos > 1 {
+				cos = 1
+			}
+			if cos < -1 {
+				cos = -1
+			}
+			ang := math.Acos(cos) * 180 / math.Pi
+			if ang < lo {
+				lo = ang
+			}
+			if ang > hi {
+				hi = ang
+			}
+		}
+	}
+	return lo, hi
+}
+
+// String renders the report.
+func (r Report) String() string {
+	return fmt.Sprintf(
+		"elements=%d vol=[%.3g, %.3g] aspect(mean=%.2f max=%.2f) dihedral=[%.1f°, %.1f°]",
+		r.Elements, r.MinVolume, r.MaxVolume, r.MeanAspect, r.MaxAspect,
+		r.MinDihedralDeg, r.MaxDihedralDeg)
+}

@@ -1,0 +1,99 @@
+package quality
+
+import (
+	"math"
+	"testing"
+
+	"plum/internal/adapt"
+	"plum/internal/geom"
+	"plum/internal/mesh"
+	"plum/internal/meshgen"
+)
+
+func TestMeasureUnitCube(t *testing.T) {
+	m := meshgen.UnitCube()
+	r := Measure(m)
+	if r.Elements != 6 {
+		t.Fatalf("elements = %d", r.Elements)
+	}
+	// Kuhn path tets: volume exactly 1/6 each.
+	if math.Abs(r.MinVolume-1.0/6.0) > 1e-12 || math.Abs(r.MaxVolume-1.0/6.0) > 1e-12 {
+		t.Errorf("volumes [%g, %g], want 1/6", r.MinVolume, r.MaxVolume)
+	}
+	// Aspect ratio of a path tet: longest edge √3, shortest 1.
+	if math.Abs(r.MaxAspect-math.Sqrt(3)) > 1e-12 {
+		t.Errorf("max aspect %g, want √3", r.MaxAspect)
+	}
+	if r.MinDihedralDeg <= 0 || r.MaxDihedralDeg >= 180 {
+		t.Errorf("dihedral range [%g, %g] out of (0, 180)", r.MinDihedralDeg, r.MaxDihedralDeg)
+	}
+	if r.String() == "" {
+		t.Error("empty report string")
+	}
+	total := 0
+	for _, n := range r.AspectHistogram {
+		total += n
+	}
+	if total != r.Elements {
+		t.Errorf("histogram sums to %d, want %d", total, r.Elements)
+	}
+}
+
+func TestIsotropicRefinementPreservesQuality(t *testing.T) {
+	// 1:8 subdivision of every element: corner children are similar to
+	// the parent, octahedron children bounded — max aspect must not blow
+	// up.
+	m := meshgen.UnitCube()
+	before := Measure(m)
+	a := adapt.New(m)
+	a.MarkRegion(geom.All{}, adapt.MarkRefine)
+	a.Refine()
+	after := Measure(m)
+	if after.Elements != 48 {
+		t.Fatalf("elements = %d", after.Elements)
+	}
+	if after.MaxAspect > 2.5*before.MaxAspect {
+		t.Errorf("isotropic refinement degraded aspect %g -> %g", before.MaxAspect, after.MaxAspect)
+	}
+	// Volumes exactly one eighth of the parents'.
+	if math.Abs(after.MinVolume-before.MinVolume/8) > 1e-12 {
+		t.Errorf("child volume %g, want %g", after.MinVolume, before.MinVolume/8)
+	}
+}
+
+func TestAnisotropicRefinementDegradesGracefully(t *testing.T) {
+	// Repeated 1:2 splits of the same element family flatten elements;
+	// the metric must detect it (this is why real drivers prefer the
+	// error indicator to re-mark whole regions).
+	m := meshgen.UnitCube()
+	a := adapt.New(m)
+	for i := 0; i < 3; i++ {
+		// Mark exactly one active edge to force a chain of 1:2 splits.
+		marked := false
+		for ei := range m.Edges {
+			ed := &m.Edges[ei]
+			if !ed.Dead && !ed.Bisected() && len(ed.Elems) > 0 && !marked {
+				a.SetMark(mesh.EdgeID(ei), adapt.MarkRefine)
+				marked = true
+			}
+		}
+		a.Refine()
+	}
+	r := Measure(m)
+	if r.MaxAspect <= math.Sqrt(3) {
+		t.Errorf("expected anisotropic splits to raise max aspect above the initial %g, got %g",
+			math.Sqrt(3), r.MaxAspect)
+	}
+}
+
+func TestMeasureEmptyMesh(t *testing.T) {
+	m := meshgen.UnitCube()
+	// Deactivate everything (simulate a fully-migrated-away subdomain).
+	for i := range m.Elems {
+		m.Elems[i].Dead = true
+	}
+	r := Measure(m)
+	if r.Elements != 0 || r.MinVolume != 0 || r.MeanAspect != 0 {
+		t.Errorf("empty mesh report: %+v", r)
+	}
+}
