@@ -19,6 +19,7 @@ import (
 	"plum/internal/par"
 	"plum/internal/partition"
 	"plum/internal/remap"
+	"plum/internal/sfc"
 )
 
 // ------------------------------------------------------- paper exhibits
@@ -103,21 +104,69 @@ func BenchmarkExtensionRepeatedAdaption(b *testing.B) {
 
 // ------------------------------------------------------------ ablations
 
-// BenchmarkAblationPartitioners compares the partitioner family on the
-// paper-scale dual graph (quality is reported in the experiments; this
-// measures cost).
+// BenchmarkAblationPartitioners compares the full partitioner family —
+// graph-based and SFC backends — on the standard adapted mesh (Local_2
+// refinement) at equal k. ns/op is the wall-time comparison (the SFC
+// backends must beat Multilevel here); the "imbalance" metric reports the
+// paper's Wmax/Wavg, which all backends keep within the 1.10 operating
+// point.
 func BenchmarkAblationPartitioners(b *testing.B) {
 	m := experiments.BaseMesh()
 	g := dual.Build(m)
-	for _, meth := range []partition.Method{
-		partition.MethodGraphGrow, partition.MethodInertial,
-		partition.MethodSpectral, partition.MethodMultilevel,
-	} {
+	a := adapt.New(m)
+	a.MarkStrategyRefine(adapt.Local2, experiments.Seed)
+	a.Refine()
+	g.UpdateWeights(m)
+	for _, meth := range partition.Methods {
 		b.Run(meth.String(), func(b *testing.B) {
+			var imb float64
 			for i := 0; i < b.N; i++ {
 				asg := partition.Partition(g, 16, meth)
 				if len(asg) != g.N {
 					b.Fatal("bad assignment")
+				}
+				imb = partition.Imbalance(g, asg, 16)
+			}
+			b.ReportMetric(imb, "imbalance")
+		})
+	}
+}
+
+// BenchmarkSFCIncrementalRepartition isolates the payoff of the cached
+// curve order: repartitioning after a weight update (what happens every
+// adaption step) is a single O(n) scan plus the FM smoothing pass, versus
+// a from-scratch partition for the graph backends.
+func BenchmarkSFCIncrementalRepartition(b *testing.B) {
+	m := experiments.BaseMesh()
+	g := dual.Build(m)
+	a := adapt.New(m)
+	a.MarkStrategyRefine(adapt.Local2, experiments.Seed)
+	a.Refine()
+	g.UpdateWeights(m)
+	for _, c := range []sfc.Curve{sfc.Morton, sfc.Hilbert} {
+		s := partition.NewSFC(g, c)
+		b.Run(c.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				asg := s.Repartition(g, 16)
+				partition.FMRefine(g, asg, 16, 2)
+				if len(asg) != g.N {
+					b.Fatal("bad assignment")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSFCKeys measures raw key throughput of the two curve kernels.
+func BenchmarkSFCKeys(b *testing.B) {
+	m := experiments.BaseMesh()
+	g := dual.Build(m)
+	for _, c := range []sfc.Curve{sfc.Morton, sfc.Hilbert} {
+		b.Run(c.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				keys := sfc.Keys(c, g.Centroid)
+				if len(keys) != g.N {
+					b.Fatal("bad keys")
 				}
 			}
 		})

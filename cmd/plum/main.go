@@ -34,7 +34,7 @@ func main() {
 		strat   = flag.String("strategy", "local1", "edge-marking strategy: local1, local2, random, error")
 		thresh  = flag.Float64("threshold", 1.2, "imbalance threshold Wmax/Wavg for repartitioning")
 		mapper  = flag.String("mapper", "heuristic", "processor reassignment: heuristic, optimal")
-		parter  = flag.String("partitioner", "multilevel", "repartitioner: graphgrow, inertial, spectral, multilevel")
+		parter  = flag.String("partitioner", "multilevel", "repartitioner: graphgrow, inertial, spectral, multilevel, morton, hilbert")
 		seed    = flag.Int64("seed", 1, "random seed")
 		scale   = flag.Float64("scale", 1.0, "mesh scale factor (1.0 = paper's 61k elements)")
 		verbose = flag.Bool("v", false, "print adaption phase breakdowns")
@@ -53,18 +53,11 @@ func main() {
 	default:
 		log.Fatalf("unknown mapper %q", *mapper)
 	}
-	switch *parter {
-	case "graphgrow":
-		cfg.Method = partition.MethodGraphGrow
-	case "inertial":
-		cfg.Method = partition.MethodInertial
-	case "spectral":
-		cfg.Method = partition.MethodSpectral
-	case "multilevel":
-		cfg.Method = partition.MethodMultilevel
-	default:
+	method, ok := partition.MethodByName(*parter)
+	if !ok {
 		log.Fatalf("unknown partitioner %q", *parter)
 	}
+	cfg.Method = method
 
 	rp := meshgen.DefaultRotor()
 	if *scale != 1.0 {

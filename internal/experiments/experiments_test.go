@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"plum/internal/adapt"
+	"plum/internal/partition"
 )
 
 // These tests verify the paper's headline claims on the regenerated
@@ -85,6 +86,9 @@ func TestFig8Claims(t *testing.T) {
 }
 
 func TestFig9Claims(t *testing.T) {
+	if testing.Short() {
+		t.Skip("paper-scale sweep")
+	}
 	f := RunFig9()
 	for s, curve := range f.Curves {
 		// Reassignment grows with P but stays negligible vs adaption +
@@ -175,6 +179,9 @@ func TestFig11Claims(t *testing.T) {
 }
 
 func TestFig12Claims(t *testing.T) {
+	if testing.Short() {
+		t.Skip("paper-scale sweep")
+	}
 	f := RunFig12()
 	last := func(s adapt.Strategy) Fig12Point {
 		c := f.Curves[s]
@@ -199,6 +206,44 @@ func TestFig12Claims(t *testing.T) {
 				t.Errorf("%v P=%d: improvement %.2f exceeds bound %.2f", s, pt.P, pt.Improvement, pt.Bound)
 			}
 		}
+	}
+}
+
+func TestPartitionerTableClaims(t *testing.T) {
+	if testing.Short() {
+		t.Skip("paper-scale comparison (runs the Lanczos backends)")
+	}
+	tb := RunPartitionerTable(16)
+	if len(tb.Rows) != len(partition.Methods) {
+		t.Fatalf("table has %d rows, want %d", len(tb.Rows), len(partition.Methods))
+	}
+	ml := tb.Row(partition.MethodMultilevel)
+	for _, m := range []partition.Method{partition.MethodMortonSFC, partition.MethodHilbertSFC} {
+		r := tb.Row(m)
+		// The acceptance bar: SFC beats the Chaco-style multilevel scheme
+		// on wall time at equal k while staying inside the paper's
+		// operating imbalance of 1.10.
+		if r.PartitionSeconds >= ml.PartitionSeconds {
+			t.Errorf("%v partition %.4fs not faster than multilevel %.4fs",
+				m, r.PartitionSeconds, ml.PartitionSeconds)
+		}
+		if r.Imbalance > 1.10 {
+			t.Errorf("%v imbalance %.4f > 1.10", m, r.Imbalance)
+		}
+		// The incremental path must not cost more than the full build
+		// (it skips key generation and the sort).
+		if r.IncrementalSeconds <= 0 || r.IncrementalSeconds > r.PartitionSeconds {
+			t.Errorf("%v incremental repartition %.6fs vs full %.6fs",
+				m, r.IncrementalSeconds, r.PartitionSeconds)
+		}
+		// Curve cuts trade some edge cut for speed, but must stay in the
+		// same league as the graph partitioners (compactness of the curve).
+		if r.EdgeCut > 3*ml.EdgeCut {
+			t.Errorf("%v edge cut %d vs multilevel %d: locality lost", m, r.EdgeCut, ml.EdgeCut)
+		}
+	}
+	if !strings.Contains(tb.String(), "multilevel") {
+		t.Error("table rendering broken")
 	}
 }
 

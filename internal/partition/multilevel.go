@@ -139,10 +139,13 @@ func coarsen(g *dual.Graph, seed int64) (*dual.Graph, []int32) {
 // k-way assignment in place: boundary vertices greedily move to adjacent
 // parts when the move reduces the edge cut without violating the balance
 // tolerance, or when it strictly improves balance at equal cut. passes
-// bounds the number of sweeps.
-func FMRefine(g *dual.Graph, asg Assignment, k, passes int) {
+// bounds the number of sweeps. It returns the abstract operation count of
+// the refinement (vertex visits plus adjacency scans) for machine-model
+// cost accounting.
+func FMRefine(g *dual.Graph, asg Assignment, k, passes int) int64 {
+	var ops int64
 	if k <= 1 {
-		return
+		return ops
 	}
 	w := Weights(g, asg, k)
 	var total int64
@@ -155,11 +158,22 @@ func FMRefine(g *dual.Graph, asg Assignment, k, passes int) {
 		maxW = 1
 	}
 
+	// Part populations: a move must never empty its source part (a valid
+	// Assignment keeps every part non-empty).
+	cnt := make([]int, k)
+	for _, p := range asg {
+		cnt[p]++
+	}
+
 	conn := make([]int32, k) // scratch: edges from v into each part
 	for pass := 0; pass < passes; pass++ {
 		moved := 0
 		for v := 0; v < g.N; v++ {
+			ops += 1 + int64(len(g.Adj[v]))
 			a := asg[v]
+			if cnt[a] <= 1 {
+				continue
+			}
 			boundary := false
 			for _, u := range g.Adj[v] {
 				if asg[u] != a {
@@ -195,6 +209,8 @@ func FMRefine(g *dual.Graph, asg Assignment, k, passes int) {
 				asg[v] = bestPart
 				w[a] -= g.Wcomp[v]
 				w[bestPart] += g.Wcomp[v]
+				cnt[a]--
+				cnt[bestPart]++
 				moved++
 			}
 		}
@@ -216,11 +232,12 @@ func FMRefine(g *dual.Graph, asg Assignment, k, passes int) {
 			}
 		}
 		if over < 0 {
-			return
+			return ops
 		}
 		moved := false
 		for v := 0; v < g.N && w[over] > maxW; v++ {
-			if asg[v] != int32(over) {
+			ops++
+			if asg[v] != int32(over) || cnt[over] <= 1 {
 				continue
 			}
 			best := int32(-1)
@@ -237,11 +254,14 @@ func FMRefine(g *dual.Graph, asg Assignment, k, passes int) {
 				asg[v] = best
 				w[over] -= g.Wcomp[v]
 				w[best] += g.Wcomp[v]
+				cnt[over]--
+				cnt[best]++
 				moved = true
 			}
 		}
 		if !moved {
-			return
+			return ops
 		}
 	}
+	return ops
 }

@@ -22,6 +22,7 @@ import (
 
 	"plum/internal/dual"
 	"plum/internal/geom"
+	"plum/internal/sfc"
 	"plum/internal/sparse"
 )
 
@@ -81,7 +82,20 @@ const (
 	MethodInertial
 	MethodSpectral
 	MethodMultilevel
+	// MethodMortonSFC and MethodHilbertSFC cut a space-filling-curve
+	// ordering of the element centroids into weighted chunks (see sfc.go):
+	// near-linear time, and O(n) incremental repartitioning via
+	// SFCPartitioner.
+	MethodMortonSFC
+	MethodHilbertSFC
 )
+
+// Methods lists every available partitioner, in declaration order — the
+// iteration table for experiments, benchmarks, and CLI validation.
+var Methods = []Method{
+	MethodGraphGrow, MethodInertial, MethodSpectral, MethodMultilevel,
+	MethodMortonSFC, MethodHilbertSFC,
+}
 
 // String implements fmt.Stringer.
 func (m Method) String() string {
@@ -94,11 +108,39 @@ func (m Method) String() string {
 		return "spectral"
 	case MethodMultilevel:
 		return "multilevel"
+	case MethodMortonSFC:
+		return "morton"
+	case MethodHilbertSFC:
+		return "hilbert"
 	}
 	return "unknown"
 }
 
-// Partition divides g into k parts with the chosen method.
+// Curve returns the space-filling curve of an SFC method; ok is false
+// for the graph partitioners.
+func (m Method) Curve() (sfc.Curve, bool) {
+	switch m {
+	case MethodMortonSFC:
+		return sfc.Morton, true
+	case MethodHilbertSFC:
+		return sfc.Hilbert, true
+	}
+	return 0, false
+}
+
+// MethodByName returns the partitioner with the given CLI name.
+func MethodByName(name string) (Method, bool) {
+	for _, m := range Methods {
+		if m.String() == name {
+			return m, true
+		}
+	}
+	return 0, false
+}
+
+// Partition divides g into k parts with the chosen method. A valid
+// k-way partitioning (every part non-empty) requires 1 ≤ k ≤ g.N;
+// callers exceeding g.N get an assignment with empty parts.
 func Partition(g *dual.Graph, k int, m Method) Assignment {
 	switch m {
 	case MethodGraphGrow:
@@ -107,6 +149,10 @@ func Partition(g *dual.Graph, k int, m Method) Assignment {
 		return InertialRB(g, k)
 	case MethodSpectral:
 		return SpectralRB(g, k)
+	case MethodMortonSFC:
+		return SFC(g, k, sfc.Morton)
+	case MethodHilbertSFC:
+		return SFC(g, k, sfc.Hilbert)
 	default:
 		return Multilevel(g, k)
 	}
@@ -134,8 +180,13 @@ func GraphGrow(g *dual.Graph, k int, seed int64) Assignment {
 
 	// Seeds: strided over the vertex order (spatially coherent for
 	// generated meshes), jittered a little so equal-weight ties differ
-	// between runs with different seeds.
-	for p := 0; p < k; p++ {
+	// between runs with different seeds. At most g.N parts can be seeded;
+	// any further parts stay empty (caller violated k ≤ N).
+	nSeeds := k
+	if nSeeds > g.N {
+		nSeeds = g.N
+	}
+	for p := 0; p < nSeeds; p++ {
 		s := int32((p*g.N + g.N/2) / k)
 		for asg[s] >= 0 {
 			s = int32(rng.Intn(g.N))
@@ -145,7 +196,7 @@ func GraphGrow(g *dual.Graph, k int, seed int64) Assignment {
 		frontiers[p] = append(frontiers[p], s)
 	}
 
-	assigned := k
+	assigned := nSeeds
 	stuck := 0 // parts whose frontier is exhausted
 	for assigned < g.N {
 		// Lightest part with a live frontier grows next.
@@ -276,12 +327,23 @@ func recursiveBisect(g *dual.Graph, idxs []int32, base, k int, asg Assignment, v
 		acc += g.Wcomp[idxs[ord[split]]]
 		split++
 	}
-	// Never produce an empty side when both sides need vertices.
-	if split == 0 {
-		split = 1
+	// Each side must keep at least as many vertices as the parts it will
+	// be split into, or the recursion bottoms out with empty parts (the
+	// weighted median can collapse to one side when a few vertices carry
+	// almost all the weight). When the subset is smaller than k (caller
+	// violated k ≤ N) the two goals conflict; keep split in range and
+	// accept empty parts rather than crash.
+	if split < k1 {
+		split = k1
 	}
-	if split == len(ord) && len(ord) > 1 {
-		split = len(ord) - 1
+	if max := len(ord) - (k - k1); split > max {
+		split = max
+	}
+	if split < 0 {
+		split = 0
+	}
+	if split > len(ord) {
+		split = len(ord)
 	}
 	left := make([]int32, 0, split)
 	right := make([]int32, 0, len(ord)-split)

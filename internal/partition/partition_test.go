@@ -7,6 +7,7 @@ import (
 	"plum/internal/dual"
 	"plum/internal/geom"
 	"plum/internal/meshgen"
+	"plum/internal/sfc"
 )
 
 func testGraph(t *testing.T) *dual.Graph {
@@ -42,7 +43,7 @@ func checkAssignment(t *testing.T, g *dual.Graph, asg Assignment, k int, method 
 
 func TestPartitionersUniformWeights(t *testing.T) {
 	g := testGraph(t)
-	for _, m := range []Method{MethodGraphGrow, MethodInertial, MethodSpectral, MethodMultilevel} {
+	for _, m := range Methods {
 		for _, k := range []int{2, 4, 7, 8} {
 			asg := Partition(g, k, m)
 			checkAssignment(t, g, asg, k, m.String(), 1.35)
@@ -82,6 +83,75 @@ func TestPartitionAdaptedWeights(t *testing.T) {
 		asg := Partition(g, 8, meth)
 		if imb := Imbalance(g, asg, 8); imb > 1.6 {
 			t.Errorf("%s: imbalance %.3f on adapted weights", meth, imb)
+		}
+	}
+	// The SFC backends target the paper's operating point: ≤ 1.10.
+	for _, meth := range []Method{MethodMortonSFC, MethodHilbertSFC} {
+		asg := Partition(g, 8, meth)
+		if imb := Imbalance(g, asg, 8); imb > 1.10 {
+			t.Errorf("%s: imbalance %.3f > 1.10 on adapted weights", meth, imb)
+		}
+	}
+}
+
+// TestSFCIncrementalRepartition exercises the cached-order path: after the
+// weights change (an adaption step), Repartition must rebalance in one
+// O(n) scan and match the quality of a from-scratch SFC partition.
+func TestSFCIncrementalRepartition(t *testing.T) {
+	m := meshgen.Box(6, 6, 6, geom.Vec3{X: 1, Y: 1, Z: 1})
+	g := dual.Build(m)
+	for _, c := range []sfc.Curve{sfc.Morton, sfc.Hilbert} {
+		s := NewSFC(g, c)
+		sortOps := s.LastOps
+		asg := s.Repartition(g, 8)
+		if s.LastOps >= sortOps {
+			t.Errorf("%v: incremental scan (%d ops) not cheaper than sort (%d ops)", c, s.LastOps, sortOps)
+		}
+		checkAssignment(t, g, asg, 8, c.String(), 1.35)
+
+		// Refine a corner; the cached order must rebalance the new weights.
+		a := adapt.New(m)
+		a.MarkRegion(geom.Sphere{Center: geom.Vec3{}, Radius: 0.5}, adapt.MarkRefine)
+		a.Refine()
+		g.UpdateWeights(m)
+		asg2 := s.Repartition(g, 8)
+		FMRefine(g, asg2, 8, 2)
+		checkAssignment(t, g, asg2, 8, c.String()+"/adapted", 1.10)
+
+		scratch := SFC(g, 8, c)
+		if imbI, imbS := Imbalance(g, asg2, 8), Imbalance(g, scratch, 8); imbI > imbS*1.05 {
+			t.Errorf("%v: incremental imbalance %.3f much worse than scratch %.3f", c, imbI, imbS)
+		}
+	}
+}
+
+// TestSFCImbalanceBound checks the documented balance guarantee of the
+// raw chunk cut (no FM pass): Wmax ≤ ΣW/k + max(Wcomp).
+func TestSFCImbalanceBound(t *testing.T) {
+	m := meshgen.Box(6, 6, 6, geom.Vec3{X: 1, Y: 1, Z: 1})
+	g := dual.Build(m)
+	a := adapt.New(m)
+	a.MarkRegion(geom.Sphere{Center: geom.Vec3{X: 1, Y: 1, Z: 1}, Radius: 0.6}, adapt.MarkRefine)
+	a.Refine()
+	g.UpdateWeights(m)
+
+	var total, maxW int64
+	for _, w := range g.Wcomp {
+		total += w
+		if w > maxW {
+			maxW = w
+		}
+	}
+	for _, c := range []sfc.Curve{sfc.Morton, sfc.Hilbert} {
+		for _, k := range []int{2, 5, 8, 16} {
+			asg := NewSFC(g, c).Repartition(g, k)
+			ws := Weights(g, asg, k)
+			bound := float64(total)/float64(k) + float64(maxW) + 1e-6
+			for p, w := range ws {
+				if float64(w) > bound {
+					t.Errorf("%v k=%d: part %d weight %d exceeds bound %.1f", c, k, p, w, bound)
+				}
+			}
 		}
 	}
 }
@@ -135,6 +205,33 @@ func TestPartitionSinglePart(t *testing.T) {
 	}
 }
 
+// TestPartitionOversizedK documents the contract for callers that violate
+// k ≤ N: the result may contain empty parts, but no method may panic and
+// every entry must still land in [0, k).
+func TestPartitionOversizedK(t *testing.T) {
+	g := &dual.Graph{
+		N:          2,
+		Adj:        [][]int32{{1}, {0}},
+		Wcomp:      []int64{3, 5},
+		Wremap:     []int64{3, 5},
+		EdgeWeight: 1,
+		Centroid:   []geom.Vec3{{X: 0}, {X: 1}},
+	}
+	for _, m := range Methods {
+		for _, k := range []int{3, 4, 9} {
+			asg := Partition(g, k, m)
+			if len(asg) != g.N {
+				t.Fatalf("%v k=%d: assignment length %d", m, k, len(asg))
+			}
+			for v, p := range asg {
+				if p < 0 || int(p) >= k {
+					t.Errorf("%v k=%d: vertex %d in invalid part %d", m, k, v, p)
+				}
+			}
+		}
+	}
+}
+
 func TestAgglomerate(t *testing.T) {
 	g := testGraph(t)
 	cg, group := g.Agglomerate(8)
@@ -153,9 +250,16 @@ func TestAgglomerate(t *testing.T) {
 }
 
 func TestMethodString(t *testing.T) {
-	for _, m := range []Method{MethodGraphGrow, MethodInertial, MethodSpectral, MethodMultilevel} {
+	for _, m := range Methods {
 		if m.String() == "unknown" {
 			t.Errorf("method %d has no name", m)
 		}
+		got, ok := MethodByName(m.String())
+		if !ok || got != m {
+			t.Errorf("MethodByName(%q) = %v, %v", m.String(), got, ok)
+		}
+	}
+	if _, ok := MethodByName("nope"); ok {
+		t.Error("MethodByName accepted an unknown name")
 	}
 }

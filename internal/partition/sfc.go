@@ -1,0 +1,148 @@
+package partition
+
+import (
+	"sort"
+
+	"plum/internal/dual"
+	"plum/internal/sfc"
+)
+
+// SFCPartitioner partitions the dual graph geometrically along a
+// space-filling curve: element centroids are quantized onto the curve's
+// lattice, sorted by curve key, and the sorted sequence is cut into k
+// weighted chunks. Curve locality makes the chunks spatially compact, and
+// the whole construction is O(n log n) — no eigen-solves.
+//
+// The curve order depends only on the centroids, which are fixed for the
+// lifetime of the dual graph (the paper's central invariant: the initial
+// mesh never changes). An SFCPartitioner therefore sorts once and
+// repartitions after every adaption step in O(n) — a single prefix-sum
+// scan over the cached order with the updated Wcomp weights — which makes
+// incremental repartitioning essentially free next to the remap itself.
+type SFCPartitioner struct {
+	// Curve is the space-filling curve used for ordering.
+	Curve sfc.Curve
+	// order holds the dual vertices sorted by curve key.
+	order []int32
+	// LastOps records the abstract operation count of the most recent
+	// call (NewSFC or Repartition) for machine-model cost accounting,
+	// mirroring remap.Similarity.LastOps.
+	LastOps int64
+}
+
+// NewSFC builds the cached curve order of g's centroids (the O(n log n)
+// part: key generation plus one sort).
+func NewSFC(g *dual.Graph, c sfc.Curve) *SFCPartitioner {
+	keys := sfc.Keys(c, g.Centroid)
+	s := &SFCPartitioner{Curve: c, order: make([]int32, g.N)}
+	for i := range s.order {
+		s.order[i] = int32(i)
+	}
+	sort.Slice(s.order, func(a, b int) bool { return keys[s.order[a]] < keys[s.order[b]] })
+	// n key generations + n log2 n comparisons, for model timing.
+	s.LastOps = int64(g.N) + int64(g.N)*int64(log2ceil(g.N))
+	return s
+}
+
+// Repartition cuts the cached curve order into k chunks balancing the
+// graph's *current* Wcomp, in O(n). It is safe to call repeatedly as the
+// weights evolve across adaption steps; the sorted order is reused.
+//
+// Balance guarantee (before refinement): each chunk receives the vertices
+// whose weighted-midpoint prefix falls in one of k equal windows of the
+// total weight, so a chunk's weight exceeds ΣW/k by at most max(Wcomp) —
+// i.e. Imbalance ≤ 1 + k·max(Wcomp)/ΣW. A subsequent FM pass (see SFC)
+// reduces the cut while keeping every part within the larger of that
+// bound and its own 3% tolerance: Wmax ≤ max(ΣW/k + max(Wcomp), 1.03·ΣW/k).
+func (s *SFCPartitioner) Repartition(g *dual.Graph, k int) Assignment {
+	n := len(s.order)
+	asg := make(Assignment, n)
+	if k <= 1 || n == 0 {
+		s.LastOps = int64(n)
+		return asg
+	}
+	if k > n {
+		k = n
+	}
+
+	var total int64
+	for _, w := range g.Wcomp {
+		total += w
+	}
+
+	// Chunk boundaries: vertex i (in curve order) belongs to the window
+	// containing the midpoint of its weight interval [prefix, prefix+w).
+	// Midpoints are increasing along the order, so chunks are contiguous.
+	bounds := make([]int, k+1)
+	bounds[k] = n
+	if total == 0 {
+		// All weights zero: equal-count cuts.
+		for p := 1; p < k; p++ {
+			bounds[p] = p * n / k
+		}
+	} else {
+		for p := 1; p < k; p++ {
+			bounds[p] = -1
+		}
+		var prefix int64
+		for i, v := range s.order {
+			mid := float64(prefix) + float64(g.Wcomp[v])/2
+			p := int(mid * float64(k) / float64(total))
+			if p > k-1 {
+				p = k - 1
+			}
+			// First vertex of each window starts that window's chunk.
+			for q := p; q >= 1 && bounds[q] < 0; q-- {
+				bounds[q] = i
+			}
+			prefix += g.Wcomp[v]
+		}
+		// Windows no midpoint reached are empty chunks ending where the
+		// next chunk starts (repaired below).
+		for p := k - 1; p >= 1; p-- {
+			if bounds[p] < 0 {
+				bounds[p] = bounds[p+1]
+			}
+		}
+	}
+	// Every chunk must be non-empty: clamp boundaries to leave room on
+	// both sides (possible since k ≤ n).
+	for p := 1; p < k; p++ {
+		if bounds[p] < bounds[p-1]+1 {
+			bounds[p] = bounds[p-1] + 1
+		}
+	}
+	for p := k - 1; p >= 1; p-- {
+		if bounds[p] > bounds[p+1]-1 {
+			bounds[p] = bounds[p+1] - 1
+		}
+	}
+
+	for p := 0; p < k; p++ {
+		for i := bounds[p]; i < bounds[p+1]; i++ {
+			asg[s.order[i]] = int32(p)
+		}
+	}
+	s.LastOps = int64(n)
+	return asg
+}
+
+// SFC is the one-shot entry point used by Partition: build the curve
+// order, cut it, and smooth the chunk boundaries with the existing
+// Fiduccia–Mattheyses machinery (curve cuts are jagged at the element
+// scale; one cheap FM pass recovers most of the cut quality).
+func SFC(g *dual.Graph, k int, c sfc.Curve) Assignment {
+	s := NewSFC(g, c)
+	asg := s.Repartition(g, k)
+	FMRefine(g, asg, k, 2)
+	return asg
+}
+
+// log2ceil returns ceil(log2(n)) for n ≥ 1.
+func log2ceil(n int) int {
+	b := 0
+	for 1<<b < n {
+		b++
+	}
+	return b
+}

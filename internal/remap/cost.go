@@ -60,6 +60,17 @@ func (c CostModel) Worthwhile(wmaxOld, wmaxNew int64, moved int64, sets int) boo
 	return c.Gain(wmaxOld, wmaxNew) > c.RedistCost(moved, sets)
 }
 
+// WorthwhileTotal extends the acceptance rule with the measured
+// load-balancing overhead itself — repartitioning plus reassignment time
+// (seconds) — on the cost side: gain > C·M·Tlat + N·Tsetup + overhead.
+// The paper neglects these terms because its spectral repartitioner runs
+// rarely; with an incremental SFC repartitioner the overhead is an O(n)
+// scan and stays negligible even when rebalancing after every adaption
+// step, which is exactly what this rule makes visible.
+func (c CostModel) WorthwhileTotal(wmaxOld, wmaxNew, moved int64, sets int, overhead float64) bool {
+	return c.Gain(wmaxOld, wmaxNew) > c.RedistCost(moved, sets)+overhead
+}
+
 // SolverTime returns the time (seconds) for Nadapt solver iterations with
 // the given maximum per-processor load — the quantity Fig. 12 compares
 // with and without load balancing.

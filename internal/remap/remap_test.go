@@ -240,6 +240,14 @@ func TestCostModel(t *testing.T) {
 	if !c.Worthwhile(100000, 1000, 10, 1) {
 		t.Error("rejected an obviously good remap")
 	}
+	// Zero overhead reduces WorthwhileTotal to the paper's rule; a large
+	// balancing overhead must be able to veto an otherwise-good remap.
+	if c.WorthwhileTotal(100000, 1000, 10, 1, 0) != c.Worthwhile(100000, 1000, 10, 1) {
+		t.Error("WorthwhileTotal(…, 0) disagrees with Worthwhile")
+	}
+	if c.WorthwhileTotal(100000, 1000, 10, 1, 1e12) {
+		t.Error("accepted a remap whose balancing overhead dwarfs the gain")
+	}
 	if c.SolverTime(2000) != c.Titer*float64(c.Nadapt)*2000 {
 		t.Error("SolverTime formula")
 	}
