@@ -9,6 +9,8 @@
 package plum
 
 import (
+	"fmt"
+	"runtime"
 	"testing"
 
 	"plum/internal/adapt"
@@ -157,16 +159,78 @@ func BenchmarkSFCIncrementalRepartition(b *testing.B) {
 	}
 }
 
-// BenchmarkSFCKeys measures raw key throughput of the two curve kernels.
+// BenchmarkSFCKeys measures raw key throughput of the two curve kernels,
+// serial versus the GOMAXPROCS worker pool (identical output either way).
 func BenchmarkSFCKeys(b *testing.B) {
 	m := experiments.BaseMesh()
 	g := dual.Build(m)
 	for _, c := range []sfc.Curve{sfc.Morton, sfc.Hilbert} {
-		b.Run(c.String(), func(b *testing.B) {
+		for _, bw := range benchWorkers() {
+			b.Run(fmt.Sprintf("%s/workers=%d", c, bw), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					keys := sfc.KeysWorkers(c, g.Centroid, bw)
+					if len(keys) != g.N {
+						b.Fatal("bad keys")
+					}
+				}
+			})
+		}
+	}
+}
+
+// benchWorkers returns the worker counts the parallel-pipeline benches
+// compare: the serial baseline and the machine's full parallelism (when
+// they differ).
+func benchWorkers() []int {
+	if p := runtime.GOMAXPROCS(0); p > 1 {
+		return []int{1, p}
+	}
+	return []int{1}
+}
+
+// BenchmarkNewSFC is the acceptance benchmark of the parallel SFC
+// pipeline: the full from-scratch build — parallel key generation,
+// parallel sample sort, parallel weighted cut — on the adapted paper mesh
+// at k=16, workers=1 versus workers=GOMAXPROCS. The assignments are
+// identical at every worker count; only the wall time may differ.
+func BenchmarkNewSFC(b *testing.B) {
+	m := experiments.BaseMesh()
+	g := dual.Build(m)
+	a := adapt.New(m)
+	a.MarkStrategyRefine(adapt.Local2, experiments.Seed)
+	a.Refine()
+	g.UpdateWeights(m)
+	for _, c := range []sfc.Curve{sfc.Morton, sfc.Hilbert} {
+		for _, bw := range benchWorkers() {
+			b.Run(fmt.Sprintf("%s/workers=%d", c, bw), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					s := partition.NewSFCWorkers(g, c, bw)
+					asg := s.Repartition(g, 16)
+					if len(asg) != g.N {
+						b.Fatal("bad assignment")
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkRepartition isolates the O(n) incremental cut (the operation
+// the framework runs after every adaption step), serial versus chunked.
+func BenchmarkRepartition(b *testing.B) {
+	m := experiments.BaseMesh()
+	g := dual.Build(m)
+	a := adapt.New(m)
+	a.MarkStrategyRefine(adapt.Local2, experiments.Seed)
+	a.Refine()
+	g.UpdateWeights(m)
+	for _, bw := range benchWorkers() {
+		s := partition.NewSFCWorkers(g, sfc.Hilbert, bw)
+		b.Run(fmt.Sprintf("workers=%d", bw), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				keys := sfc.Keys(c, g.Centroid)
-				if len(keys) != g.N {
-					b.Fatal("bad keys")
+				asg := s.Repartition(g, 16)
+				if len(asg) != g.N {
+					b.Fatal("bad assignment")
 				}
 			}
 		})

@@ -1,0 +1,161 @@
+// Command benchjson measures the parallel SFC partitioning pipeline and
+// writes the results as machine-readable JSON, so successive PRs can
+// track the perf trajectory without parsing `go test -bench` text.
+//
+//	go run ./cmd/benchjson                  # writes BENCH_sfc.json
+//	go run ./cmd/benchjson -out - -k 32     # JSON to stdout, k=32 cuts
+//
+// Every exhibit is run at workers=1 (the serial baseline) and, when the
+// host has more than one CPU, workers=GOMAXPROCS; the derived speedup
+// fields are the acceptance figures of the parallel-pipeline PR. The
+// partition assignments are identical at every worker count, so the
+// comparison is pure wall time.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"runtime"
+	"testing"
+
+	"plum/internal/adapt"
+	"plum/internal/dual"
+	"plum/internal/experiments"
+	"plum/internal/partition"
+	"plum/internal/psort"
+	"plum/internal/sfc"
+)
+
+// Bench is one measured exhibit.
+type Bench struct {
+	Name    string  `json:"name"`
+	Workers int     `json:"workers"`
+	N       int     `json:"iterations"`
+	NsPerOp float64 `json:"ns_per_op"`
+}
+
+// Report is the BENCH_sfc.json schema.
+type Report struct {
+	GoMaxProcs int     `json:"gomaxprocs"`
+	GoVersion  string  `json:"go_version"`
+	MeshElems  int     `json:"mesh_elements"`
+	K          int     `json:"k"`
+	Benches    []Bench `json:"benches"`
+	// Speedups maps exhibit name → ns/op(workers=1) / ns/op(workers=P);
+	// only present when the host has more than one CPU.
+	Speedups map[string]float64 `json:"speedups,omitempty"`
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("benchjson: ")
+	out := flag.String("out", "BENCH_sfc.json", "output path ('-' for stdout)")
+	k := flag.Int("k", 16, "partition count for the cut benches")
+	flag.Parse()
+
+	m := experiments.BaseMesh()
+	g := dual.Build(m)
+	a := adapt.New(m)
+	a.MarkStrategyRefine(adapt.Local2, experiments.Seed)
+	a.Refine()
+	g.UpdateWeights(m)
+
+	rep := Report{
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		GoVersion:  runtime.Version(),
+		MeshElems:  g.N,
+		K:          *k,
+	}
+	workerCounts := []int{1}
+	if rep.GoMaxProcs > 1 {
+		workerCounts = append(workerCounts, rep.GoMaxProcs)
+	}
+
+	// Pre-built inputs shared by the micro exhibits.
+	keys := sfc.Keys(sfc.Hilbert, g.Centroid)
+	kvs := make([]psort.KV, len(keys))
+	for i, key := range keys {
+		kvs[i] = psort.KV{K: key, V: int32(i)}
+	}
+	incr := map[int]*partition.SFCPartitioner{}
+	for _, w := range workerCounts {
+		incr[w] = partition.NewSFCWorkers(g, sfc.Hilbert, w)
+	}
+
+	exhibits := []struct {
+		name string
+		run  func(w int, b *testing.B)
+	}{
+		{"SFCKeys/hilbert", func(w int, b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if got := sfc.KeysWorkers(sfc.Hilbert, g.Centroid, w); len(got) != g.N {
+					b.Fatal("bad keys")
+				}
+			}
+		}},
+		{"SampleSort", func(w int, b *testing.B) {
+			buf := make([]psort.KV, len(kvs))
+			for i := 0; i < b.N; i++ {
+				copy(buf, kvs)
+				psort.Sort(buf, w)
+			}
+		}},
+		{"NewSFC/hilbert", func(w int, b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				s := partition.NewSFCWorkers(g, sfc.Hilbert, w)
+				if asg := s.Repartition(g, *k); len(asg) != g.N {
+					b.Fatal("bad assignment")
+				}
+			}
+		}},
+		{"Repartition", func(w int, b *testing.B) {
+			s := incr[w]
+			for i := 0; i < b.N; i++ {
+				if asg := s.Repartition(g, *k); len(asg) != g.N {
+					b.Fatal("bad assignment")
+				}
+			}
+		}},
+	}
+
+	nsPerOp := map[string]map[int]float64{}
+	for _, ex := range exhibits {
+		nsPerOp[ex.name] = map[int]float64{}
+		for _, w := range workerCounts {
+			w := w
+			res := testing.Benchmark(func(b *testing.B) { ex.run(w, b) })
+			ns := float64(res.NsPerOp())
+			nsPerOp[ex.name][w] = ns
+			rep.Benches = append(rep.Benches, Bench{
+				Name: ex.name, Workers: w, N: res.N, NsPerOp: ns,
+			})
+			log.Printf("%-18s workers=%-2d %12.0f ns/op (%d iters)", ex.name, w, ns, res.N)
+		}
+	}
+	if rep.GoMaxProcs > 1 {
+		rep.Speedups = map[string]float64{}
+		p := rep.GoMaxProcs
+		for name, byW := range nsPerOp {
+			if byW[p] > 0 {
+				rep.Speedups[name] = byW[1] / byW[p]
+			}
+		}
+	}
+
+	enc, err := json.MarshalIndent(&rep, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	enc = append(enc, '\n')
+	if *out == "-" {
+		fmt.Print(string(enc))
+		return
+	}
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("wrote %s", *out)
+}

@@ -17,6 +17,7 @@ import "plum/internal/experiments"
 func main() {
 	exp := flag.String("exp", "all", "experiment to run: table1, fig8, fig9, fig10, fig11, fig12, extension, partitioners, all")
 	k := flag.Int("k", 16, "partition count for -exp partitioners")
+	workers := flag.Int("workers", 0, "worker goroutines for parallel partitioning phases (0 = GOMAXPROCS)")
 	flag.Parse()
 	if *k < 1 {
 		fmt.Fprintf(os.Stderr, "invalid -k %d: need at least 1 partition\n", *k)
@@ -34,7 +35,7 @@ func main() {
 		{"fig11", func() fmt.Stringer { return experiments.RunFig11() }},
 		{"fig12", func() fmt.Stringer { return experiments.RunFig12() }},
 		{"extension", func() fmt.Stringer { return experiments.RunExtensionRepeated(8, 6) }},
-		{"partitioners", func() fmt.Stringer { return experiments.RunPartitionerTable(*k) }},
+		{"partitioners", func() fmt.Stringer { return experiments.RunPartitionerTable(*k, *workers) }},
 	}
 
 	ran := false

@@ -20,6 +20,7 @@ import (
 	"plum/internal/geom"
 	"plum/internal/meshgen"
 	"plum/internal/partition"
+	"plum/internal/psort"
 	"plum/internal/solver"
 )
 
@@ -36,6 +37,7 @@ func main() {
 		mapper  = flag.String("mapper", "heuristic", "processor reassignment: heuristic, optimal")
 		parter  = flag.String("partitioner", "multilevel", "repartitioner: graphgrow, inertial, spectral, multilevel, morton, hilbert")
 		seed    = flag.Int64("seed", 1, "random seed")
+		workers = flag.Int("workers", 0, "worker goroutines for parallel partitioning phases (0 = GOMAXPROCS)")
 		scale   = flag.Float64("scale", 1.0, "mesh scale factor (1.0 = paper's 61k elements)")
 		verbose = flag.Bool("v", false, "print adaption phase breakdowns")
 	)
@@ -45,6 +47,7 @@ func main() {
 	cfg.F = *f
 	cfg.ImbalanceThreshold = *thresh
 	cfg.Seed = *seed
+	cfg.Workers = *workers
 	switch *mapper {
 	case "heuristic":
 		cfg.Mapper = core.MapperHeuristic
@@ -78,8 +81,8 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Printf("mesh: %s\n", m.Stats())
-	fmt.Printf("config: P=%d F=%d threshold=%.2f mapper=%s partitioner=%s\n",
-		cfg.P, cfg.F, cfg.ImbalanceThreshold, cfg.Mapper, cfg.Method)
+	fmt.Printf("config: P=%d F=%d threshold=%.2f mapper=%s partitioner=%s workers=%d\n",
+		cfg.P, cfg.F, cfg.ImbalanceThreshold, cfg.Mapper, cfg.Method, psort.Workers(cfg.Workers))
 
 	var stratFn func(a *adapt.Adaptor)
 	switch *strat {
@@ -125,6 +128,11 @@ func main() {
 			fmt.Printf("         target=%.4f propagate=%.4f execute=%.4f classify=%.4f rounds=%d msgs=%d\n",
 				rep.AdaptTime.Target, rep.AdaptTime.Propagate, rep.AdaptTime.Execute,
 				rep.AdaptTime.Classify, rep.AdaptTime.CommRounds, rep.AdaptTime.Msgs)
+			if b.Repartitioned {
+				fmt.Printf("         repart ops=%d crit=%d t=%.3gs reassign ops=%d t=%.3gs\n",
+					b.RepartitionOps, b.RepartitionCritOps, b.RepartitionTime,
+					b.ReassignOps, b.ReassignTime)
+			}
 		}
 	}
 	if err := m.Check(); err != nil {

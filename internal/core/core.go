@@ -58,6 +58,11 @@ type Config struct {
 	Cost remap.CostModel
 	// Seed drives any randomized components.
 	Seed int64
+	// Workers bounds the worker-goroutine count of the parallel
+	// partitioning phases (SFC key generation, sample sort, chunked
+	// weighted cut). ≤ 0 means runtime.GOMAXPROCS. Partition assignments
+	// are identical at every worker count; only wall time changes.
+	Workers int
 	// PreAdapt uniformly refines the mesh this many times before the
 	// dual graph is built, then rebases the refinement history — the
 	// paper's remedy when the initial mesh is too small for good
@@ -105,25 +110,29 @@ type Framework struct {
 }
 
 // repartition divides the dual graph into k parts with the configured
-// method and returns the abstract operation count of the partitioning
-// itself (0 for the graph partitioners, whose cost the framework does not
-// model — matching the paper, which times only reassignment and remap).
-// SFC methods use the cached curve order, so only the first call pays the
-// O(n log n) sort; the count includes the FM smoothing pass, which
-// dominates the incremental scan.
-func (f *Framework) repartition(k int) (partition.Assignment, int64) {
+// method and returns the abstract operation accounting of the
+// partitioning itself. Every backend reports honest, nonzero cost: the
+// graph partitioners count their matching/eigen-solve/refinement work
+// (the paper times only reassignment and remap, which silently flatters
+// its spectral partitioner); the SFC methods use the cached curve order,
+// so only the first call pays the O(n log n) parallel sort and the
+// critical-path count divides the parallel phases across Cfg.Workers.
+func (f *Framework) repartition(k int) (partition.Assignment, partition.Ops) {
 	c, ok := f.Cfg.Method.Curve()
 	if !ok {
-		return partition.Partition(f.G, k, f.Cfg.Method), 0
+		return partition.PartitionCounted(f.G, k, f.Cfg.Method,
+			partition.Options{Workers: f.Cfg.Workers, Seed: f.Cfg.Seed})
 	}
-	var ops int64
+	var ops partition.Ops
 	if f.sfcCache == nil || f.sfcCache.Curve != c {
-		f.sfcCache = partition.NewSFC(f.G, c)
-		ops = f.sfcCache.LastOps // the one-time sort
+		f.sfcCache = partition.NewSFCWorkers(f.G, c, f.Cfg.Workers)
+		ops.Total = f.sfcCache.LastOps // the one-time sort
+		ops.Crit = f.sfcCache.LastCritOps
 	}
 	asg := f.sfcCache.Repartition(f.G, k)
-	ops += f.sfcCache.LastOps
-	ops += partition.FMRefine(f.G, asg, k, 2)
+	ops.Total += f.sfcCache.LastOps
+	ops.Crit += f.sfcCache.LastCritOps
+	ops.AddSerial(partition.FMRefine(f.G, asg, k, 2))
 	return asg, ops
 }
 
@@ -168,11 +177,13 @@ func New(m *mesh.Mesh, sol *solver.Solver, cfg Config) (*Framework, error) {
 // partitionMaybeAgglomerated partitions g into cfg.P parts, optionally via
 // superelement agglomeration for very large duals.
 func partitionMaybeAgglomerated(g *dual.Graph, cfg Config) partition.Assignment {
+	opt := partition.Options{Workers: cfg.Workers, Seed: cfg.Seed}
 	if cfg.Agglomerate <= 1 {
-		return partition.Partition(g, cfg.P, cfg.Method)
+		asg, _ := partition.PartitionCounted(g, cfg.P, cfg.Method, opt)
+		return asg
 	}
 	coarse, group := g.Agglomerate(cfg.Agglomerate)
-	coarseAsg := partition.Partition(coarse, cfg.P, cfg.Method)
+	coarseAsg, _ := partition.PartitionCounted(coarse, cfg.P, cfg.Method, opt)
 	asg := make(partition.Assignment, g.N)
 	for v := range asg {
 		asg[v] = coarseAsg[group[v]]
@@ -218,10 +229,14 @@ type BalanceReport struct {
 	Objective int64
 	MoveC     int64
 	MoveN     int
-	// RepartitionOps and RepartitionTime describe the partitioner's work
-	// (modeled for the SFC backends only; 0 for the graph partitioners).
-	RepartitionOps  int64
-	RepartitionTime float64
+	// RepartitionOps and RepartitionCritOps describe the partitioner's
+	// work: total ops summed over all workers, and the critical-path
+	// share (what a parallel machine actually waits for — equal for the
+	// serial graph backends). Every backend reports nonzero cost.
+	// RepartitionTime charges the critical path at Model.AlgOp.
+	RepartitionOps     int64
+	RepartitionCritOps int64
+	RepartitionTime    float64
 	// ReassignOps and ReassignTime describe the mapper's work.
 	ReassignOps  int64
 	ReassignTime float64
@@ -253,8 +268,9 @@ func (f *Framework) Balance() (BalanceReport, error) {
 	// Repartition the dual graph into P·F parts.
 	nParts := f.Cfg.P * f.Cfg.F
 	newPart, partOps := f.repartition(nParts)
-	rep.RepartitionOps = partOps
-	rep.RepartitionTime = float64(partOps) * f.Cfg.Model.AlgOp
+	rep.RepartitionOps = partOps.Total
+	rep.RepartitionCritOps = partOps.Crit
+	rep.RepartitionTime = float64(partOps.Crit) * f.Cfg.Model.AlgOp
 
 	// Similarity matrix + processor reassignment.
 	sim := remap.Build(f.D.Owners(), newPart, f.G.Wremap, f.Cfg.P, f.Cfg.F)

@@ -7,6 +7,7 @@ import (
 	"plum/internal/adapt"
 	"plum/internal/geom"
 	"plum/internal/meshgen"
+	"plum/internal/partition"
 	"plum/internal/solver"
 )
 
@@ -217,5 +218,75 @@ func TestImprovementBound(t *testing.T) {
 func TestMapperString(t *testing.T) {
 	if MapperHeuristic.String() != "heuristic" || MapperOptimal.String() != "optimal" {
 		t.Error("mapper names")
+	}
+}
+
+// TestBalanceChargesEveryPartitioner pins the honest-cost contract closed
+// by the parallel-SFC PR: after a repartition, every backend — graph and
+// SFC alike — reports nonzero total and critical-path op counts, and the
+// modeled repartitioning time lands on the cost side of the acceptance
+// rule.
+func TestBalanceChargesEveryPartitioner(t *testing.T) {
+	for _, meth := range partition.Methods {
+		f := newFW(t, 8)
+		f.Cfg.Method = meth
+		f.A.MarkRegion(geom.Sphere{Center: geom.Vec3{}, Radius: 0.6}, adapt.MarkRefine)
+		f.A.Refine()
+		f.A.MarkRegion(geom.Sphere{Center: geom.Vec3{}, Radius: 0.4}, adapt.MarkRefine)
+		f.A.Refine()
+		rep, err := f.Balance()
+		if err != nil {
+			t.Fatalf("%v: %v", meth, err)
+		}
+		if !rep.Repartitioned {
+			t.Fatalf("%v: fixture did not trigger repartitioning", meth)
+		}
+		if rep.RepartitionOps <= 0 || rep.RepartitionCritOps <= 0 {
+			t.Errorf("%v: zero repartition cost reported (ops=%d crit=%d)",
+				meth, rep.RepartitionOps, rep.RepartitionCritOps)
+		}
+		if rep.RepartitionCritOps > rep.RepartitionOps {
+			t.Errorf("%v: critical path %d exceeds total %d",
+				meth, rep.RepartitionCritOps, rep.RepartitionOps)
+		}
+		if rep.RepartitionTime <= 0 {
+			t.Errorf("%v: repartition time not charged", meth)
+		}
+		// The acceptance rule must see the repartitioning overhead: the
+		// reported cost is redistribution + repartition + reassignment.
+		wantCost := f.Cfg.Cost.RedistCost(rep.MoveC, rep.MoveN) + rep.RepartitionTime + rep.ReassignTime
+		if math.Abs(rep.Cost-wantCost) > 1e-12 {
+			t.Errorf("%v: cost %.6g does not include the balancing overhead (want %.6g)",
+				meth, rep.Cost, wantCost)
+		}
+	}
+}
+
+// TestBalanceWorkerCountInvariance runs the full SFC pipeline at several
+// worker counts and demands identical ownership — the framework-level
+// restatement of the psort determinism guarantee.
+func TestBalanceWorkerCountInvariance(t *testing.T) {
+	var ref []int32
+	for _, workers := range []int{1, 2, 5} {
+		f := newFW(t, 8)
+		f.Cfg.Method = partition.MethodHilbertSFC
+		f.Cfg.Workers = workers
+		f.A.MarkRegion(geom.Sphere{Center: geom.Vec3{}, Radius: 0.6}, adapt.MarkRefine)
+		f.A.Refine()
+		f.A.MarkRegion(geom.Sphere{Center: geom.Vec3{}, Radius: 0.4}, adapt.MarkRefine)
+		f.A.Refine()
+		if _, err := f.Balance(); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		owners := f.D.Owners()
+		if ref == nil {
+			ref = owners
+			continue
+		}
+		for v := range owners {
+			if owners[v] != ref[v] {
+				t.Fatalf("workers=%d: ownership diverges at vertex %d", workers, v)
+			}
+		}
 	}
 }

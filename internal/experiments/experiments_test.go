@@ -213,9 +213,20 @@ func TestPartitionerTableClaims(t *testing.T) {
 	if testing.Short() {
 		t.Skip("paper-scale comparison (runs the Lanczos backends)")
 	}
-	tb := RunPartitionerTable(16)
+	tb := RunPartitionerTable(16, 0)
 	if len(tb.Rows) != len(partition.Methods) {
 		t.Fatalf("table has %d rows, want %d", len(tb.Rows), len(partition.Methods))
+	}
+	for _, r := range tb.Rows {
+		// Honest cost accounting: every backend — graph and SFC alike —
+		// must report nonzero ops for the remap acceptance rule, and the
+		// critical path can never exceed the total.
+		if r.Ops.Total <= 0 || r.Ops.Crit <= 0 {
+			t.Errorf("%v reports zero partitioning cost: %+v", r.Method, r.Ops)
+		}
+		if r.Ops.Crit > r.Ops.Total {
+			t.Errorf("%v critical path %d exceeds total %d", r.Method, r.Ops.Crit, r.Ops.Total)
+		}
 	}
 	ml := tb.Row(partition.MethodMultilevel)
 	for _, m := range []partition.Method{partition.MethodMortonSFC, partition.MethodHilbertSFC} {

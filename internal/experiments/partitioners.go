@@ -21,6 +21,9 @@ type PartitionerRow struct {
 	// cached curve order (SFC backends only; 0 for graph partitioners,
 	// which have no incremental path).
 	IncrementalSeconds float64
+	// Ops is the backend's abstract op accounting — the figure charged to
+	// the remap acceptance rule. Nonzero for every backend.
+	Ops partition.Ops
 	// Imbalance is the paper's load-imbalance factor Wmax/Wavg.
 	Imbalance float64
 	// EdgeCut is the number of dual edges crossing partition boundaries.
@@ -39,8 +42,9 @@ type PartitionerTable struct {
 }
 
 // RunPartitionerTable measures all backends on the Local_2-adapted paper
-// mesh, partitioning into k parts (k < 1 is treated as 1).
-func RunPartitionerTable(k int) *PartitionerTable {
+// mesh, partitioning into k parts (k < 1 is treated as 1) with the given
+// worker knob for the parallel SFC phases (≤ 0 = GOMAXPROCS).
+func RunPartitionerTable(k, workers int) *PartitionerTable {
 	if k < 1 {
 		k = 1
 	}
@@ -51,18 +55,19 @@ func RunPartitionerTable(k int) *PartitionerTable {
 	a.Refine()
 	g.UpdateWeights(m)
 
+	opt := partition.Options{Workers: workers}
 	out := &PartitionerTable{K: k}
 	for _, meth := range partition.Methods {
 		row := PartitionerRow{Method: meth}
 		var asg partition.Assignment
 		row.PartitionSeconds = minTime(func() {
-			asg = partition.Partition(g, k, meth)
+			asg, row.Ops = partition.PartitionCounted(g, k, meth, opt)
 		})
 		row.Imbalance = partition.Imbalance(g, asg, k)
 		row.EdgeCut = partition.EdgeCut(g, asg)
 
 		if c, ok := meth.Curve(); ok {
-			s := partition.NewSFC(g, c)
+			s := partition.NewSFCWorkers(g, c, workers)
 			row.IncrementalSeconds = minTime(func() {
 				inc := s.Repartition(g, k)
 				partition.FMRefine(g, inc, k, 2)
@@ -102,18 +107,22 @@ func (t *PartitionerTable) Row(m partition.Method) PartitionerRow {
 	return PartitionerRow{}
 }
 
-// String renders the comparison table.
+// String renders the comparison table. The ops columns are the abstract
+// work the framework charges to the remap acceptance rule: total over all
+// workers and the critical-path share (equal for the serial graph
+// backends).
 func (t *PartitionerTable) String() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "Partitioner backends on the Local_2-adapted mesh, k=%d (host wall time)\n", t.K)
-	fmt.Fprintf(&b, "%-12s%14s%14s%12s%12s\n", "method", "t_part (s)", "t_incr (s)", "Wmax/Wavg", "edge cut")
+	fmt.Fprintf(&b, "%-12s%14s%14s%14s%14s%12s%12s\n",
+		"method", "t_part (s)", "t_incr (s)", "ops", "crit ops", "Wmax/Wavg", "edge cut")
 	for _, r := range t.Rows {
 		inc := "-"
 		if r.IncrementalSeconds > 0 {
 			inc = fmt.Sprintf("%.6f", r.IncrementalSeconds)
 		}
-		fmt.Fprintf(&b, "%-12s%14.6f%14s%12.4f%12d\n",
-			r.Method, r.PartitionSeconds, inc, r.Imbalance, r.EdgeCut)
+		fmt.Fprintf(&b, "%-12s%14.6f%14s%14d%14d%12.4f%12d\n",
+			r.Method, r.PartitionSeconds, inc, r.Ops.Total, r.Ops.Crit, r.Imbalance, r.EdgeCut)
 	}
 	return b.String()
 }

@@ -17,7 +17,7 @@ package par
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 
 	"plum/internal/mesh"
 	"plum/internal/partition"
@@ -125,7 +125,10 @@ func dedupSorted(s []int32) []int32 {
 	if len(s) < 2 {
 		return s
 	}
-	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	// slices.Sort's pdqsort on the bare int32s: no comparator closure,
+	// no interface boxing — this sort runs once per shared edge/vertex
+	// probe, so comparator overhead is a real cost on the SPL hot path.
+	slices.Sort(s)
 	out := s[:1]
 	for _, x := range s[1:] {
 		if x != out[len(out)-1] {

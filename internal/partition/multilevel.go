@@ -12,11 +12,24 @@ import (
 // coarse graph is partitioned spectrally, and the partition is projected
 // back up with Fiduccia–Mattheyses boundary refinement at every level.
 func Multilevel(g *dual.Graph, k int) Assignment {
+	asg, _ := multilevelCounted(g, k, 1)
+	return asg
+}
+
+// multilevelCounted is Multilevel with op accounting: the matching and
+// edge-collapse work of every coarsening level, the spectral solve on the
+// coarsest graph, and the projection plus FM refinement of every
+// uncoarsening level. The scheme is serial, so Total == Crit. seed
+// offsets the per-level matching RNG; seed 1 reproduces the historical
+// level-index seeding.
+func multilevelCounted(g *dual.Graph, k int, seed int64) (Assignment, Ops) {
 	const coarseTarget = 200
 	target := coarseTarget
 	if 4*k > target {
 		target = 4 * k
 	}
+
+	var ops Ops
 
 	// Coarsening chain.
 	type level struct {
@@ -26,7 +39,8 @@ func Multilevel(g *dual.Graph, k int) Assignment {
 	levels := []level{{g: g}}
 	cur := g
 	for cur.N > target {
-		cg, cmap := coarsen(cur, int64(len(levels)))
+		cg, cmap, cops := coarsenCounted(cur, seed-1+int64(len(levels)))
+		ops.AddSerial(cops)
 		if cg.N >= cur.N*9/10 {
 			break // matching stalled; stop coarsening
 		}
@@ -35,8 +49,9 @@ func Multilevel(g *dual.Graph, k int) Assignment {
 	}
 
 	// Initial partition of the coarsest graph.
-	asg := SpectralRB(cur, k)
-	FMRefine(cur, asg, k, 4)
+	asg, sops := spectralCounted(cur, k)
+	ops.Add(sops)
+	ops.AddSerial(FMRefine(cur, asg, k, 4))
 
 	// Uncoarsen with refinement.
 	for li := len(levels) - 1; li >= 1; li-- {
@@ -47,15 +62,18 @@ func Multilevel(g *dual.Graph, k int) Assignment {
 			fineAsg[v] = asg[cmap[v]]
 		}
 		asg = fineAsg
-		FMRefine(fine, asg, k, 2)
+		ops.AddSerial(int64(fine.N))
+		ops.AddSerial(FMRefine(fine, asg, k, 2))
 	}
-	return asg
+	return asg, ops
 }
 
-// coarsen contracts a random maximal matching of g, returning the coarse
-// graph and the fine→coarse vertex map. Matched pairs merge their weights;
+// coarsenCounted contracts a random maximal matching of g, returning the
+// coarse graph, the fine→coarse vertex map, and the op count of the
+// matching plus edge collapse. Matched pairs merge their weights;
 // parallel coarse edges are collapsed.
-func coarsen(g *dual.Graph, seed int64) (*dual.Graph, []int32) {
+func coarsenCounted(g *dual.Graph, seed int64) (*dual.Graph, []int32, int64) {
+	var ops int64
 	rng := rand.New(rand.NewSource(seed))
 	order := rng.Perm(g.N)
 	match := make([]int32, g.N)
@@ -69,6 +87,7 @@ func coarsen(g *dual.Graph, seed int64) (*dual.Graph, []int32) {
 	var nc int32
 	for _, vi := range order {
 		v := int32(vi)
+		ops += 1 + int64(len(g.Adj[v]))
 		if cmap[v] >= 0 {
 			continue
 		}
@@ -115,6 +134,7 @@ func coarsen(g *dual.Graph, seed int64) (*dual.Graph, []int32) {
 	seen := make(map[[2]int32]bool)
 	for v := 0; v < g.N; v++ {
 		cv := cmap[v]
+		ops += 1 + int64(len(g.Adj[v]))
 		for _, w := range g.Adj[v] {
 			cw := cmap[w]
 			if cv == cw {
@@ -132,7 +152,7 @@ func coarsen(g *dual.Graph, seed int64) (*dual.Graph, []int32) {
 			}
 		}
 	}
-	return cg, cmap
+	return cg, cmap, ops
 }
 
 // FMRefine performs Fiduccia–Mattheyses-style boundary refinement on a

@@ -18,7 +18,7 @@ package partition
 import (
 	"math"
 	"math/rand"
-	"sort"
+	"slices"
 
 	"plum/internal/dual"
 	"plum/internal/geom"
@@ -138,23 +138,73 @@ func MethodByName(name string) (Method, bool) {
 	return 0, false
 }
 
+// Options configures a partitioning call.
+type Options struct {
+	// Workers bounds the worker-goroutine count of the parallel phases
+	// (SFC key generation, sample sort, chunked weighted cut). ≤ 0 means
+	// runtime.GOMAXPROCS. The graph backends are serial and ignore it.
+	// Assignments are identical at every worker count.
+	Workers int
+	// Seed drives randomized components (GraphGrow seeding, multilevel
+	// matching order). 0 is treated as 1, the historical default.
+	Seed int64
+}
+
+// Ops is the abstract work accounting of one partitioning call, charged
+// to the remap acceptance rule via machine.Model.AlgOp.
+type Ops struct {
+	// Total is the op count summed over all workers — the energy/work
+	// side, and what a serial machine would pay.
+	Total int64
+	// Crit is the critical-path op count: the slowest worker's share plus
+	// the serial merge terms. Wall-clock time is Crit·AlgOp. Equals Total
+	// for the serial graph backends.
+	Crit int64
+}
+
+// Add accumulates o2 into o, serial ops contributing to both sides.
+func (o *Ops) Add(o2 Ops) {
+	o.Total += o2.Total
+	o.Crit += o2.Crit
+}
+
+// AddSerial accumulates purely serial work: it extends the critical path
+// one-for-one.
+func (o *Ops) AddSerial(n int64) {
+	o.Total += n
+	o.Crit += n
+}
+
 // Partition divides g into k parts with the chosen method. A valid
 // k-way partitioning (every part non-empty) requires 1 ≤ k ≤ g.N;
 // callers exceeding g.N get an assignment with empty parts.
 func Partition(g *dual.Graph, k int, m Method) Assignment {
+	asg, _ := PartitionCounted(g, k, m, Options{})
+	return asg
+}
+
+// PartitionCounted is Partition with explicit options and honest cost
+// accounting: every backend — graph and SFC alike — reports the abstract
+// operation count of the work it actually did, so the framework can
+// charge repartitioning to the remap acceptance rule regardless of
+// method.
+func PartitionCounted(g *dual.Graph, k int, m Method, opt Options) (Assignment, Ops) {
+	if opt.Seed == 0 {
+		opt.Seed = 1
+	}
 	switch m {
 	case MethodGraphGrow:
-		return GraphGrow(g, k, 1)
+		return graphGrowCounted(g, k, opt.Seed)
 	case MethodInertial:
-		return InertialRB(g, k)
+		return inertialCounted(g, k)
 	case MethodSpectral:
-		return SpectralRB(g, k)
+		return spectralCounted(g, k)
 	case MethodMortonSFC:
-		return SFC(g, k, sfc.Morton)
+		return sfcCounted(g, k, sfc.Morton, opt.Workers)
 	case MethodHilbertSFC:
-		return SFC(g, k, sfc.Hilbert)
+		return sfcCounted(g, k, sfc.Hilbert, opt.Workers)
 	default:
-		return Multilevel(g, k)
+		return multilevelCounted(g, k, opt.Seed)
 	}
 }
 
@@ -164,6 +214,15 @@ func Partition(g *dual.Graph, k int, m Method) Assignment {
 // result balanced by construction even at high k, where sequential growth
 // leaves the last parts only fragmented leftovers.
 func GraphGrow(g *dual.Graph, k int, seed int64) Assignment {
+	asg, _ := graphGrowCounted(g, k, seed)
+	return asg
+}
+
+// graphGrowCounted is GraphGrow with op accounting: one op per
+// lightest-part scan entry, per adjacency visit, and per FM-refinement
+// op. Growth is serial, so Total == Crit.
+func graphGrowCounted(g *dual.Graph, k int, seed int64) (Assignment, Ops) {
+	var ops int64
 	asg := make(Assignment, g.N)
 	for i := range asg {
 		asg[i] = -1
@@ -172,7 +231,8 @@ func GraphGrow(g *dual.Graph, k int, seed int64) Assignment {
 		for i := range asg {
 			asg[i] = 0
 		}
-		return asg
+		ops = int64(g.N)
+		return asg, Ops{Total: ops, Crit: ops}
 	}
 	rng := rand.New(rand.NewSource(seed))
 	wts := make([]int64, k)
@@ -200,6 +260,7 @@ func GraphGrow(g *dual.Graph, k int, seed int64) Assignment {
 	stuck := 0 // parts whose frontier is exhausted
 	for assigned < g.N {
 		// Lightest part with a live frontier grows next.
+		ops += int64(k)
 		p := -1
 		for q := 0; q < k; q++ {
 			if len(frontiers[q]) > 0 && (p < 0 || wts[q] < wts[p]) {
@@ -230,6 +291,7 @@ func GraphGrow(g *dual.Graph, k int, seed int64) Assignment {
 		for len(frontiers[p]) > 0 && !grew {
 			v := frontiers[p][0]
 			nbrs := g.Adj[v]
+			ops += 1 + int64(len(nbrs))
 			for _, u := range nbrs {
 				if asg[u] < 0 {
 					asg[u] = int32(p)
@@ -247,8 +309,8 @@ func GraphGrow(g *dual.Graph, k int, seed int64) Assignment {
 		}
 	}
 	// A refinement pass smooths the growth fronts.
-	FMRefine(g, asg, k, 2)
-	return asg
+	ops += FMRefine(g, asg, k, 2)
+	return asg, Ops{Total: ops, Crit: ops}
 }
 
 func argminW(w []int64) int {
@@ -265,56 +327,90 @@ func argminW(w []int64) int {
 // split at the weighted median of element centroids projected onto the
 // subdomain's principal axis.
 func InertialRB(g *dual.Graph, k int) Assignment {
+	asg, _ := inertialCounted(g, k)
+	return asg
+}
+
+// inertialCounted is InertialRB with op accounting: the covariance
+// accumulation and power iteration per subdomain, plus the shared
+// sort-and-split cost counted by recursiveBisect.
+func inertialCounted(g *dual.Graph, k int) (Assignment, Ops) {
 	asg := make(Assignment, g.N)
 	idxs := make([]int32, g.N)
 	for i := range idxs {
 		idxs[i] = int32(i)
 	}
-	recursiveBisect(g, idxs, 0, k, asg, func(sub []int32) []float64 {
+	var ops int64
+	recursiveBisect(g, idxs, 0, k, asg, &ops, func(sub []int32) ([]float64, int64) {
 		axis := principalAxis(g, sub)
 		vals := make([]float64, len(sub))
 		for i, v := range sub {
 			vals[i] = g.Centroid[v].Dot(axis)
 		}
-		return vals
+		// Covariance build (~10 flops/vertex), 50 power iterations on the
+		// 3×3 (~12 flops each), and the projection.
+		return vals, int64(len(sub))*11 + 600
 	})
-	return asg
+	return asg, Ops{Total: ops, Crit: ops}
 }
 
 // SpectralRB partitions by recursive spectral bisection: each subdomain is
 // split at the weighted median of its Fiedler vector (Lanczos, see
 // internal/sparse).
 func SpectralRB(g *dual.Graph, k int) Assignment {
+	asg, _ := spectralCounted(g, k)
+	return asg
+}
+
+// spectralCounted is SpectralRB with op accounting: the dominant term is
+// the Lanczos work inside sparse.FiedlerCounted (per-iteration sparse
+// matvecs plus full reorthogonalization), which dwarfs the sort-and-split
+// bookkeeping.
+func spectralCounted(g *dual.Graph, k int) (Assignment, Ops) {
 	asg := make(Assignment, g.N)
 	idxs := make([]int32, g.N)
 	for i := range idxs {
 		idxs[i] = int32(i)
 	}
-	recursiveBisect(g, idxs, 0, k, asg, func(sub []int32) []float64 {
+	var ops int64
+	recursiveBisect(g, idxs, 0, k, asg, &ops, func(sub []int32) ([]float64, int64) {
 		return subgraphFiedler(g, sub)
 	})
-	return asg
+	return asg, Ops{Total: ops, Crit: ops}
 }
 
 // recursiveBisect splits idxs into k parts numbered [base, base+k),
 // writing into asg. value computes, for a subset, the 1-D embedding to
-// split at the weighted median.
-func recursiveBisect(g *dual.Graph, idxs []int32, base, k int, asg Assignment, value func([]int32) []float64) {
+// split at the weighted median, and reports the abstract op count of that
+// computation; recursiveBisect adds the sort and scan costs to *ops.
+func recursiveBisect(g *dual.Graph, idxs []int32, base, k int, asg Assignment, ops *int64, value func([]int32) ([]float64, int64)) {
 	if k <= 1 {
 		for _, v := range idxs {
 			asg[v] = int32(base)
 		}
+		*ops += int64(len(idxs))
 		return
 	}
 	k1 := (k + 1) / 2
 	frac := float64(k1) / float64(k)
-	vals := value(idxs)
+	vals, vops := value(idxs)
+	n := int64(len(idxs))
+	*ops += vops + n*int64(log2ceil(len(idxs)+1)) + n
 
 	ord := make([]int, len(idxs))
 	for i := range ord {
 		ord[i] = i
 	}
-	sort.Slice(ord, func(a, b int) bool { return vals[ord[a]] < vals[ord[b]] })
+	// Ties broken by position for a fully deterministic split order.
+	slices.SortFunc(ord, func(a, b int) int {
+		switch {
+		case vals[a] < vals[b]:
+			return -1
+		case vals[a] > vals[b]:
+			return 1
+		}
+		return a - b
+	})
 
 	var total int64
 	for _, v := range idxs {
@@ -354,8 +450,8 @@ func recursiveBisect(g *dual.Graph, idxs []int32, base, k int, asg Assignment, v
 			right = append(right, idxs[o])
 		}
 	}
-	recursiveBisect(g, left, base, k1, asg, value)
-	recursiveBisect(g, right, base+k1, k-k1, asg, value)
+	recursiveBisect(g, left, base, k1, asg, ops, value)
+	recursiveBisect(g, right, base+k1, k-k1, asg, ops, value)
 }
 
 // principalAxis returns the dominant eigenvector of the weighted
@@ -405,14 +501,17 @@ func principalAxis(g *dual.Graph, sub []int32) geom.Vec3 {
 	return geom.Vec3{X: x[0], Y: x[1], Z: x[2]}
 }
 
-// subgraphFiedler computes the Fiedler embedding of the induced subgraph.
-func subgraphFiedler(g *dual.Graph, sub []int32) []float64 {
+// subgraphFiedler computes the Fiedler embedding of the induced subgraph,
+// reporting the op count of the extraction plus the Lanczos solve.
+func subgraphFiedler(g *dual.Graph, sub []int32) ([]float64, int64) {
 	local := make(map[int32]int32, len(sub))
 	for i, v := range sub {
 		local[v] = int32(i)
 	}
+	var ops int64
 	adj := make([][]int32, len(sub))
 	for i, v := range sub {
+		ops += 1 + int64(len(g.Adj[v]))
 		for _, w := range g.Adj[v] {
 			if lw, ok := local[w]; ok {
 				adj[i] = append(adj[i], lw)
@@ -420,5 +519,6 @@ func subgraphFiedler(g *dual.Graph, sub []int32) []float64 {
 		}
 	}
 	L := sparse.Laplacian(adj)
-	return sparse.Fiedler(L, 60, 1e-4, 42)
+	vec, fops := sparse.FiedlerCounted(L, 60, 1e-4, 42)
+	return vec, ops + fops
 }

@@ -249,6 +249,109 @@ func TestAgglomerate(t *testing.T) {
 	checkAssignment(t, cg, asg, 4, "agglomerated", 1.6)
 }
 
+// TestSFCWorkerParity is the determinism contract of the parallel
+// pipeline: the curve order and every Assignment must be identical at any
+// worker count, on a graph large enough to engage the parallel sample
+// sort and the chunked cut (n > the serial cutoffs), with heavy-tailed
+// weights and duplicate curve keys.
+func TestSFCWorkerParity(t *testing.T) {
+	g := gridGraph(24, 24, 16, 5) // 9216 vertices > repartSerialCutoff
+	for _, c := range []sfc.Curve{sfc.Morton, sfc.Hilbert} {
+		ref := NewSFCWorkers(g, c, 1)
+		for _, w := range []int{2, 3, 4, 8} {
+			s := NewSFCWorkers(g, c, w)
+			for _, k := range []int{1, 2, 7, 16, 61} {
+				want := ref.Repartition(g, k)
+				got := s.Repartition(g, k)
+				for v := range want {
+					if got[v] != want[v] {
+						t.Fatalf("%v workers=%d k=%d: vertex %d in part %d, serial says %d",
+							c, w, k, v, got[v], want[v])
+					}
+				}
+			}
+			if s.LastCritOps > s.LastOps {
+				t.Errorf("%v workers=%d: critical path %d exceeds total %d",
+					c, w, s.LastCritOps, s.LastOps)
+			}
+		}
+	}
+}
+
+// TestSFCWorkerParityAfterWeightUpdate re-runs the parity check after the
+// weights change (the incremental-repartition path the framework actually
+// exercises every adaption step).
+func TestSFCWorkerParityAfterWeightUpdate(t *testing.T) {
+	g := gridGraph(24, 24, 16, 11)
+	serial := NewSFCWorkers(g, sfc.Hilbert, 1)
+	par4 := NewSFCWorkers(g, sfc.Hilbert, 4)
+	// Mutate weights like a refinement step would: blow up one corner.
+	for v := 0; v < g.N/8; v++ {
+		g.Wcomp[v] *= 64
+	}
+	for _, k := range []int{2, 13, 32} {
+		want := serial.Repartition(g, k)
+		got := par4.Repartition(g, k)
+		for v := range want {
+			if got[v] != want[v] {
+				t.Fatalf("k=%d: parallel cut diverges from serial at vertex %d after weight update", k, v)
+			}
+		}
+	}
+}
+
+// TestSFCCritOpsHonestOnSerialFallback pins the cost model to the
+// execution path: when the graph is too small for the parallel phases
+// (every cutoff wins), a large worker knob must NOT discount the critical
+// path — the work ran serially and must be charged serially.
+func TestSFCCritOpsHonestOnSerialFallback(t *testing.T) {
+	g := gridGraph(8, 8, 8, 3) // 512 vertices: below every parallel cutoff
+	s := NewSFCWorkers(g, sfc.Morton, 8)
+	if s.LastCritOps != s.LastOps {
+		t.Errorf("build: crit %d != total %d despite serial fallback", s.LastCritOps, s.LastOps)
+	}
+	s.Repartition(g, 4)
+	if s.LastCritOps != s.LastOps {
+		t.Errorf("repartition: crit %d != total %d despite serial fallback", s.LastCritOps, s.LastOps)
+	}
+	// And on a graph large enough to engage the parallel paths, the
+	// discount must appear.
+	big := gridGraph(24, 24, 16, 3) // 9216 > every cutoff
+	sb := NewSFCWorkers(big, sfc.Morton, 8)
+	if sb.LastCritOps >= sb.LastOps {
+		t.Errorf("parallel build not discounted: crit %d vs total %d", sb.LastCritOps, sb.LastOps)
+	}
+	sb.Repartition(big, 4)
+	if sb.LastCritOps >= sb.LastOps {
+		t.Errorf("parallel repartition not discounted: crit %d vs total %d", sb.LastCritOps, sb.LastOps)
+	}
+}
+
+// TestPartitionCountedReportsWork pins the honest-cost contract: every
+// backend reports nonzero total and critical-path ops, with Crit ≤ Total,
+// and Partition returns the same assignment as PartitionCounted.
+func TestPartitionCountedReportsWork(t *testing.T) {
+	g := testGraph(t)
+	for _, m := range Methods {
+		asg, ops := PartitionCounted(g, 4, m, Options{})
+		if ops.Total <= 0 || ops.Crit <= 0 {
+			t.Errorf("%v: zero cost reported: %+v", m, ops)
+		}
+		if ops.Crit > ops.Total {
+			t.Errorf("%v: critical path %d exceeds total %d", m, ops.Crit, ops.Total)
+		}
+		if ops.Total < int64(g.N) {
+			t.Errorf("%v: total ops %d below one visit per vertex (n=%d)", m, ops.Total, g.N)
+		}
+		plain := Partition(g, 4, m)
+		for v := range asg {
+			if plain[v] != asg[v] {
+				t.Fatalf("%v: Partition and PartitionCounted disagree at vertex %d", m, v)
+			}
+		}
+	}
+}
+
 func TestMethodString(t *testing.T) {
 	for _, m := range Methods {
 		if m.String() == "unknown" {

@@ -4,8 +4,13 @@ import (
 	"sort"
 
 	"plum/internal/dual"
+	"plum/internal/psort"
 	"plum/internal/sfc"
 )
+
+// repartSerialCutoff is the vertex count below which Repartition's chunked
+// worker pool costs more than it recovers and the serial scan is used.
+const repartSerialCutoff = 1 << 13
 
 // SFCPartitioner partitions the dual graph geometrically along a
 // space-filling curve: element centroids are quantized onto the curve's
@@ -13,40 +18,86 @@ import (
 // weighted chunks. Curve locality makes the chunks spatially compact, and
 // the whole construction is O(n log n) — no eigen-solves.
 //
+// Every phase is parallel: key generation (sfc.KeysWorkers), the key sort
+// (psort's sample sort), and the weighted chunk cut (chunked prefix sums).
+// Equal keys are tie-broken by vertex index, so the curve order — and
+// therefore every Assignment — is byte-identical at any worker count.
+//
 // The curve order depends only on the centroids, which are fixed for the
 // lifetime of the dual graph (the paper's central invariant: the initial
 // mesh never changes). An SFCPartitioner therefore sorts once and
-// repartitions after every adaption step in O(n) — a single prefix-sum
-// scan over the cached order with the updated Wcomp weights — which makes
+// repartitions after every adaption step in O(n) — a prefix-sum scan over
+// the cached order with the updated Wcomp weights — which makes
 // incremental repartitioning essentially free next to the remap itself.
 type SFCPartitioner struct {
 	// Curve is the space-filling curve used for ordering.
 	Curve sfc.Curve
+	// Workers is the resolved worker count used by the parallel phases
+	// (≥ 1; construction resolves 0 to GOMAXPROCS).
+	Workers int
 	// order holds the dual vertices sorted by curve key.
 	order []int32
 	// LastOps records the abstract operation count of the most recent
-	// call (NewSFC or Repartition) for machine-model cost accounting,
-	// mirroring remap.Similarity.LastOps.
+	// call (NewSFC or Repartition) summed over all workers, for
+	// machine-model cost accounting, mirroring remap.Similarity.LastOps.
 	LastOps int64
+	// LastCritOps is the critical-path share of LastOps: the op count of
+	// the slowest worker plus the serial merge terms. machine.Model
+	// charges parallel time from this figure; for Workers == 1 it equals
+	// LastOps.
+	LastCritOps int64
 }
 
-// NewSFC builds the cached curve order of g's centroids (the O(n log n)
-// part: key generation plus one sort).
+// NewSFC builds the cached curve order of g's centroids with a
+// GOMAXPROCS-sized worker pool (the O(n log n) part: key generation plus
+// one sample sort).
 func NewSFC(g *dual.Graph, c sfc.Curve) *SFCPartitioner {
-	keys := sfc.Keys(c, g.Centroid)
-	s := &SFCPartitioner{Curve: c, order: make([]int32, g.N)}
+	return NewSFCWorkers(g, c, 0)
+}
+
+// NewSFCWorkers is NewSFC with an explicit worker knob (≤ 0 = GOMAXPROCS).
+// The curve order is identical at every worker count.
+func NewSFCWorkers(g *dual.Graph, c sfc.Curve, workers int) *SFCPartitioner {
+	w := psort.Workers(workers)
+	s := &SFCPartitioner{Curve: c, Workers: w, order: make([]int32, g.N)}
+	keys := sfc.KeysWorkers(c, g.Centroid, w)
 	for i := range s.order {
 		s.order[i] = int32(i)
 	}
-	sort.Slice(s.order, func(a, b int) bool { return keys[s.order[a]] < keys[s.order[b]] })
-	// n key generations + n log2 n comparisons, for model timing.
-	s.LastOps = int64(g.N) + int64(g.N)*int64(log2ceil(g.N))
+	psort.SortIndexByKey(keys, s.order, w)
+
+	// n key generations + n log2 n comparisons, for model timing. The
+	// critical path divides each phase by the worker count that phase
+	// *actually* ran with — both fall back to serial below their size
+	// cutoffs, and charging the knob instead would undercount the work a
+	// small graph really costs. The sample-sort's serial splitter
+	// selection is O(w² · oversample · log) — noise at any realistic
+	// n/w — and is folded into the +w term.
+	n := int64(g.N)
+	logn := int64(log2ceil(g.N))
+	kw := int64(sfc.EffectiveKeyWorkers(g.N, w))
+	sw := int64(psort.SortWorkers(g.N, w))
+	s.LastOps = n + n*logn
+	s.LastCritOps = critClamp(ceilDiv(n, kw)+ceilDiv(n*logn, sw)+sw-1, s.LastOps)
 	return s
 }
 
+// critClamp caps a critical-path estimate at the total: the serial merge
+// terms can otherwise nudge it past the total at tiny n or w=1, and no
+// schedule is slower than running everything serially.
+func critClamp(crit, total int64) int64 {
+	if crit > total {
+		return total
+	}
+	return crit
+}
+
 // Repartition cuts the cached curve order into k chunks balancing the
-// graph's *current* Wcomp, in O(n). It is safe to call repeatedly as the
-// weights evolve across adaption steps; the sorted order is reused.
+// graph's *current* Wcomp, in O(n) work and O(n/Workers) critical path.
+// It is safe to call repeatedly as the weights evolve across adaption
+// steps; the sorted order is reused. The cut is identical at every worker
+// count: the chunked scan reproduces the serial prefix-sum windows
+// exactly.
 //
 // Balance guarantee (before refinement): each chunk receives the vertices
 // whose weighted-midpoint prefix falls in one of k equal windows of the
@@ -59,54 +110,192 @@ func (s *SFCPartitioner) Repartition(g *dual.Graph, k int) Assignment {
 	asg := make(Assignment, n)
 	if k <= 1 || n == 0 {
 		s.LastOps = int64(n)
+		s.LastCritOps = int64(n)
 		return asg
 	}
 	if k > n {
 		k = n
 	}
+	w := s.Workers
+	if w < 1 {
+		w = psort.Workers(w)
+	}
 
+	// Resolve the worker count the cut actually runs with; the serial
+	// fallback must also be *charged* serially.
+	if w > 1 && n < repartSerialCutoff {
+		w = 1
+	}
+	var bounds []int
+	if w <= 1 {
+		bounds = s.cutSerial(g, k)
+	} else {
+		bounds = s.cutParallel(g, k, w)
+	}
+	repairBounds(bounds, k, n)
+
+	// Fill: every vertex between consecutive bounds belongs to that part.
+	// Chunked over the order; each index is written exactly once.
+	psort.ForChunks(n, w, func(_, lo, hi int) {
+		p := sort.Search(k, func(p int) bool { return bounds[p+1] > lo })
+		for i := lo; i < hi; i++ {
+			for i >= bounds[p+1] {
+				p++
+			}
+			asg[s.order[i]] = int32(p)
+		}
+	})
+
+	// Weight-sum scan + window scan + fill, for model timing.
+	s.LastOps = 3 * int64(n)
+	s.LastCritOps = critClamp(ceilDiv(3*int64(n), int64(w))+int64(k)+int64(w), s.LastOps)
+	return asg
+}
+
+// windowOf returns the weight window of a vertex whose interval starts
+// at prefix with weight wv: the window containing the interval midpoint.
+// This is THE expression both cut paths share — the worker-count
+// invariance of Repartition rests on the parallel replay performing
+// bit-identical float64 arithmetic to the serial scan, so any change here
+// changes both paths together.
+func windowOf(prefix, wv, total int64, k int) int {
+	mid := float64(prefix) + float64(wv)/2
+	p := int(mid * float64(k) / float64(total))
+	if p > k-1 {
+		return k - 1
+	}
+	return p
+}
+
+// equalCountBounds fills the all-weights-zero cut: equal-count chunks.
+func equalCountBounds(bounds []int, k, n int) {
+	for p := 1; p < k; p++ {
+		bounds[p] = p * n / k
+	}
+}
+
+// cutSerial computes the raw window boundaries with a single prefix-sum
+// scan — the reference semantics cutParallel must reproduce exactly.
+func (s *SFCPartitioner) cutSerial(g *dual.Graph, k int) []int {
+	n := len(s.order)
 	var total int64
 	for _, w := range g.Wcomp {
 		total += w
 	}
-
-	// Chunk boundaries: vertex i (in curve order) belongs to the window
-	// containing the midpoint of its weight interval [prefix, prefix+w).
-	// Midpoints are increasing along the order, so chunks are contiguous.
 	bounds := make([]int, k+1)
 	bounds[k] = n
 	if total == 0 {
-		// All weights zero: equal-count cuts.
-		for p := 1; p < k; p++ {
-			bounds[p] = p * n / k
+		equalCountBounds(bounds, k, n)
+		return bounds
+	}
+	for p := 1; p < k; p++ {
+		bounds[p] = -1
+	}
+	// Chunk boundaries: vertex i (in curve order) belongs to the window
+	// containing the midpoint of its weight interval [prefix, prefix+w).
+	// Midpoints are increasing along the order, so chunks are contiguous.
+	var prefix int64
+	for i, v := range s.order {
+		p := windowOf(prefix, g.Wcomp[v], total, k)
+		// First vertex of each window starts that window's chunk.
+		for q := p; q >= 1 && bounds[q] < 0; q-- {
+			bounds[q] = i
 		}
-	} else {
-		for p := 1; p < k; p++ {
-			bounds[p] = -1
+		prefix += g.Wcomp[v]
+	}
+	return bounds
+}
+
+// cutParallel computes the same boundaries as cutSerial with a two-pass
+// chunked prefix sum: pass one accumulates per-chunk weight totals, a
+// short serial scan turns them into chunk offsets, and pass two replays
+// each chunk with its exact global prefix, recording the first vertex
+// landing in each weight window. Because every per-vertex computation
+// sees the same int64 prefix and performs the same float64 arithmetic as
+// the serial scan, the resulting windows are bit-identical.
+func (s *SFCPartitioner) cutParallel(g *dual.Graph, k, w int) []int {
+	n := len(s.order)
+	nc := psort.NumChunks(n, w)
+
+	// Pass 1: per-chunk weight sums → exclusive chunk offsets.
+	chunkSum := make([]int64, nc)
+	psort.ForChunks(n, w, func(chunk, lo, hi int) {
+		var sum int64
+		for _, v := range s.order[lo:hi] {
+			sum += g.Wcomp[v]
 		}
-		var prefix int64
-		for i, v := range s.order {
-			mid := float64(prefix) + float64(g.Wcomp[v])/2
-			p := int(mid * float64(k) / float64(total))
-			if p > k-1 {
-				p = k - 1
-			}
-			// First vertex of each window starts that window's chunk.
-			for q := p; q >= 1 && bounds[q] < 0; q-- {
-				bounds[q] = i
+		chunkSum[chunk] = sum
+	})
+	offset := make([]int64, nc)
+	var total int64
+	for c, sum := range chunkSum {
+		offset[c] = total
+		total += sum
+	}
+
+	bounds := make([]int, k+1)
+	bounds[k] = n
+	if total == 0 {
+		equalCountBounds(bounds, k, n)
+		return bounds
+	}
+
+	// Pass 2: window-first scan per chunk. firsts[chunk][p] is the first
+	// in-chunk curve position whose weight midpoint lands in window p, or
+	// -1. Windows are nondecreasing along the order, so only the first
+	// hit per window matters.
+	firsts := make([][]int32, nc)
+	psort.ForChunks(n, w, func(chunk, lo, hi int) {
+		fw := make([]int32, k)
+		for p := range fw {
+			fw[p] = -1
+		}
+		prefix := offset[chunk]
+		for i := lo; i < hi; i++ {
+			v := s.order[i]
+			p := windowOf(prefix, g.Wcomp[v], total, k)
+			if fw[p] < 0 {
+				fw[p] = int32(i)
 			}
 			prefix += g.Wcomp[v]
 		}
-		// Windows no midpoint reached are empty chunks ending where the
-		// next chunk starts (repaired below).
-		for p := k - 1; p >= 1; p-- {
-			if bounds[p] < 0 {
-				bounds[p] = bounds[p+1]
+		firsts[chunk] = fw
+	})
+
+	// Merge: the global first of window p is the earliest chunk's first
+	// (chunks cover increasing index ranges). The serial scan's backfill
+	// assigns bounds[q] the first vertex whose window is ≥ q, i.e. the
+	// minimum first over all windows ≥ q — a reverse running minimum.
+	fw := make([]int32, k)
+	for p := range fw {
+		fw[p] = -1
+	}
+	for _, cf := range firsts {
+		for p, i := range cf {
+			if fw[p] < 0 && i >= 0 {
+				fw[p] = i
 			}
 		}
 	}
-	// Every chunk must be non-empty: clamp boundaries to leave room on
-	// both sides (possible since k ≤ n).
+	carry := int32(-1)
+	for p := k - 1; p >= 1; p-- {
+		if fw[p] >= 0 && (carry < 0 || fw[p] < carry) {
+			carry = fw[p]
+		}
+		bounds[p] = int(carry)
+	}
+	return bounds
+}
+
+// repairBounds finishes the raw windows: empty trailing windows inherit
+// the next chunk's start, and every chunk is clamped to be non-empty
+// (possible since k ≤ n).
+func repairBounds(bounds []int, k, n int) {
+	for p := k - 1; p >= 1; p-- {
+		if bounds[p] < 0 {
+			bounds[p] = bounds[p+1]
+		}
+	}
 	for p := 1; p < k; p++ {
 		if bounds[p] < bounds[p-1]+1 {
 			bounds[p] = bounds[p-1] + 1
@@ -117,14 +306,6 @@ func (s *SFCPartitioner) Repartition(g *dual.Graph, k int) Assignment {
 			bounds[p] = bounds[p+1] - 1
 		}
 	}
-
-	for p := 0; p < k; p++ {
-		for i := bounds[p]; i < bounds[p+1]; i++ {
-			asg[s.order[i]] = int32(p)
-		}
-	}
-	s.LastOps = int64(n)
-	return asg
 }
 
 // SFC is the one-shot entry point used by Partition: build the curve
@@ -132,10 +313,23 @@ func (s *SFCPartitioner) Repartition(g *dual.Graph, k int) Assignment {
 // Fiduccia–Mattheyses machinery (curve cuts are jagged at the element
 // scale; one cheap FM pass recovers most of the cut quality).
 func SFC(g *dual.Graph, k int, c sfc.Curve) Assignment {
-	s := NewSFC(g, c)
-	asg := s.Repartition(g, k)
-	FMRefine(g, asg, k, 2)
+	asg, _ := sfcCounted(g, k, c, 0)
 	return asg
+}
+
+// sfcCounted runs the full SFC pipeline and reports its total and
+// critical-path op counts (sort + incremental cut + FM smoothing; the FM
+// pass is serial, so it contributes equally to both).
+func sfcCounted(g *dual.Graph, k int, c sfc.Curve, workers int) (Assignment, Ops) {
+	s := NewSFCWorkers(g, c, workers)
+	ops := Ops{Total: s.LastOps, Crit: s.LastCritOps}
+	asg := s.Repartition(g, k)
+	ops.Total += s.LastOps
+	ops.Crit += s.LastCritOps
+	fm := FMRefine(g, asg, k, 2)
+	ops.Total += fm
+	ops.Crit += fm
+	return asg, ops
 }
 
 // log2ceil returns ceil(log2(n)) for n ≥ 1.
@@ -145,4 +339,9 @@ func log2ceil(n int) int {
 		b++
 	}
 	return b
+}
+
+// ceilDiv returns ⌈a/b⌉ for positive b.
+func ceilDiv(a, b int64) int64 {
+	return (a + b - 1) / b
 }

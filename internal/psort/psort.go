@@ -1,0 +1,266 @@
+// Package psort implements a deterministic parallel sample sort over
+// (uint64 key, int32 index) pairs — the sorting engine behind the parallel
+// space-filling-curve partitioning pipeline.
+//
+// Sample sort is the classic distributed sorting algorithm (Blelloch et
+// al.; Borrell et al. use the same structure for extreme-scale SFC mesh
+// partitioning): oversample the input to pick w−1 splitters, scatter every
+// element into one of w key-ranged buckets, sort the buckets
+// independently, and concatenate. All three phases parallelize over a
+// GOMAXPROCS-sized worker pool; below a size cutoff a serial pdqsort wins
+// and is used instead.
+//
+// Determinism: elements are ordered by (key, index) — the index breaks
+// ties between equal keys — so the output is the unique total order of the
+// input and is byte-identical at every worker count, including 1. This is
+// the property the SFC partitioner relies on to produce identical
+// partition assignments regardless of parallelism.
+package psort
+
+import (
+	"runtime"
+	"slices"
+	"sync"
+)
+
+// KV is one sortable element: a 64-bit key and its payload index. The
+// index doubles as the deterministic tie-break for equal keys, so inputs
+// whose V values are distinct (the partitioner's vertex indices always
+// are) have a unique sorted order.
+type KV struct {
+	K uint64
+	V int32
+}
+
+// Compare orders pairs by key, then by index — the total order Sort
+// establishes.
+func Compare(a, b KV) int {
+	switch {
+	case a.K < b.K:
+		return -1
+	case a.K > b.K:
+		return 1
+	case a.V < b.V:
+		return -1
+	case a.V > b.V:
+		return 1
+	}
+	return 0
+}
+
+// SerialCutoff is the input size below which Sort falls back to a serial
+// sort: under ~8k pairs the scatter bookkeeping costs more than the
+// parallelism recovers.
+const SerialCutoff = 1 << 13
+
+// oversample is the number of splitter candidates sampled per worker.
+// Higher oversampling tightens bucket-size variance (±O(n/(w·oversample))
+// around n/w) at a negligible serial cost.
+const oversample = 16
+
+// Workers resolves a worker-count knob: values ≤ 0 mean "use
+// runtime.GOMAXPROCS(0)".
+func Workers(n int) int {
+	if n <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return n
+}
+
+// NumChunks returns the number of contiguous chunks ForChunks will split
+// [0, n) into for the given worker knob: min(Workers(workers), n), at
+// least 1 when n > 0.
+func NumChunks(n, workers int) int {
+	w := Workers(workers)
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// ForChunks splits [0, n) into NumChunks(n, workers) contiguous
+// near-equal chunks and runs fn(chunk, lo, hi) for each, concurrently when
+// there is more than one. Chunk boundaries depend only on n and the
+// resolved worker count, so callers that reduce per-chunk results merge
+// them in a deterministic order.
+func ForChunks(n, workers int, fn func(chunk, lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	w := NumChunks(n, workers)
+	if w == 1 {
+		fn(0, 0, n)
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(w)
+	for t := 0; t < w; t++ {
+		go func(t int) {
+			defer wg.Done()
+			fn(t, t*n/w, (t+1)*n/w)
+		}(t)
+	}
+	wg.Wait()
+}
+
+// SortWorkers returns the worker count Sort actually uses for n pairs
+// under the given knob: 1 when the serial fallback wins (n below
+// SerialCutoff or a resolved knob of 1), otherwise the knob clamped so
+// each worker has enough elements to amortize its scatter pass. Cost
+// models must divide the sort's critical path by this figure, not by the
+// raw knob.
+func SortWorkers(n, workers int) int {
+	w := Workers(workers)
+	if max := n / (SerialCutoff / 8); w > max {
+		w = max
+	}
+	if w <= 1 || n < SerialCutoff {
+		return 1
+	}
+	return w
+}
+
+// Sort sorts kvs ascending by (K, V) using a parallel sample sort with the
+// given worker knob (≤ 0 = GOMAXPROCS). Inputs below SerialCutoff, or a
+// resolved worker count of 1, use a serial pdqsort. The result is
+// identical at every worker count.
+func Sort(kvs []KV, workers int) {
+	w := SortWorkers(len(kvs), workers)
+	if w <= 1 {
+		slices.SortFunc(kvs, Compare)
+		return
+	}
+	sampleSort(kvs, w)
+}
+
+// sampleSort runs the three parallel phases: splitter selection, bucket
+// scatter, and per-bucket sort. Requires w ≥ 2 and len(kvs) ≥ w·oversample.
+func sampleSort(kvs []KV, w int) {
+	n := len(kvs)
+
+	// Phase 1 — splitters. Samples are taken at fixed, evenly spaced
+	// positions (no RNG: determinism), sorted, and every oversample-th
+	// becomes a splitter. Bucket b receives elements x with
+	// splitter[b-1] ≤ x < splitter[b] in (K, V) order.
+	s := w * oversample
+	samples := make([]KV, s)
+	for i := range samples {
+		samples[i] = kvs[i*n/s]
+	}
+	slices.SortFunc(samples, Compare)
+	splitters := make([]KV, w-1)
+	for i := range splitters {
+		splitters[i] = samples[(i+1)*oversample-1]
+	}
+
+	// Phase 2a — count. Each worker classifies its contiguous input chunk
+	// by binary search over the splitters, caching the bucket of every
+	// element so the scatter pass doesn't search again.
+	counts := make([][]int32, w)
+	buckets := make([]uint16, n)
+	var wg sync.WaitGroup
+	wg.Add(w)
+	for t := 0; t < w; t++ {
+		go func(t int) {
+			defer wg.Done()
+			c := make([]int32, w)
+			lo, hi := t*n/w, (t+1)*n/w
+			for i := lo; i < hi; i++ {
+				b := bucketOf(kvs[i], splitters)
+				buckets[i] = uint16(b)
+				c[b]++
+			}
+			counts[t] = c
+		}(t)
+	}
+	wg.Wait()
+
+	// Phase 2b — offsets. Buckets are laid out contiguously in key order;
+	// within a bucket, worker regions follow input-chunk order. Every
+	// (worker, bucket) region is disjoint, so the scatter needs no locks.
+	offsets := make([][]int32, w)
+	for t := range offsets {
+		offsets[t] = make([]int32, w)
+	}
+	bucketStart := make([]int32, w+1)
+	var pos int32
+	for b := 0; b < w; b++ {
+		bucketStart[b] = pos
+		for t := 0; t < w; t++ {
+			offsets[t][b] = pos
+			pos += counts[t][b]
+		}
+	}
+	bucketStart[w] = int32(n)
+
+	// Phase 2c — scatter into scratch, reusing the cached buckets.
+	scratch := make([]KV, n)
+	wg.Add(w)
+	for t := 0; t < w; t++ {
+		go func(t int) {
+			defer wg.Done()
+			off := offsets[t]
+			lo, hi := t*n/w, (t+1)*n/w
+			for i := lo; i < hi; i++ {
+				b := buckets[i]
+				scratch[off[b]] = kvs[i]
+				off[b]++
+			}
+		}(t)
+	}
+	wg.Wait()
+
+	// Phase 3 — sort each bucket and copy it back in place. Bucket b's
+	// destination [bucketStart[b], bucketStart[b+1]) is exactly its
+	// position in the final order.
+	wg.Add(w)
+	for b := 0; b < w; b++ {
+		go func(b int) {
+			defer wg.Done()
+			seg := scratch[bucketStart[b]:bucketStart[b+1]]
+			slices.SortFunc(seg, Compare)
+			copy(kvs[bucketStart[b]:bucketStart[b+1]], seg)
+		}(b)
+	}
+	wg.Wait()
+}
+
+// bucketOf returns the index of the first splitter greater than x — the
+// bucket x belongs to. The binary search is inlined key-first (no
+// closure, no function call per probe): this runs once per input element
+// on the sample sort's hottest loop.
+func bucketOf(x KV, splitters []KV) int {
+	lo, hi := 0, len(splitters)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		s := splitters[mid]
+		if x.K < s.K || (x.K == s.K && x.V < s.V) {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo
+}
+
+// SortIndexByKey sorts idx so that keys[idx[i]] is ascending, breaking
+// equal keys by the smaller index — the curve-order construction of the
+// SFC partitioner, exposed here so serial callers share the exact
+// ordering semantics. keys is not modified.
+func SortIndexByKey(keys []uint64, idx []int32, workers int) {
+	kvs := make([]KV, len(idx))
+	ForChunks(len(idx), workers, func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			kvs[i] = KV{K: keys[idx[i]], V: idx[i]}
+		}
+	})
+	Sort(kvs, workers)
+	ForChunks(len(idx), workers, func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			idx[i] = kvs[i].V
+		}
+	})
+}

@@ -1,0 +1,222 @@
+package psort
+
+import (
+	"math/rand"
+	"slices"
+	"sort"
+	"testing"
+)
+
+// refSort is the specification Sort must match exactly: the stdlib sort
+// over the same (K, V) total order.
+func refSort(kvs []KV) {
+	sort.Slice(kvs, func(i, j int) bool {
+		if kvs[i].K != kvs[j].K {
+			return kvs[i].K < kvs[j].K
+		}
+		return kvs[i].V < kvs[j].V
+	})
+}
+
+// randomPairs draws n pairs whose keys collide heavily when dup is small —
+// the regime where a non-tie-broken sample sort goes nondeterministic.
+func randomPairs(rng *rand.Rand, n int, keySpace uint64) []KV {
+	kvs := make([]KV, n)
+	for i := range kvs {
+		k := rng.Uint64()
+		if keySpace > 0 {
+			k %= keySpace
+		}
+		kvs[i] = KV{K: k, V: int32(i)}
+	}
+	// Shuffle V so index order and input order are uncorrelated.
+	rng.Shuffle(n, func(i, j int) { kvs[i].V, kvs[j].V = kvs[j].V, kvs[i].V })
+	return kvs
+}
+
+// TestSortMatchesReference is the core property test: for random sizes
+// straddling SerialCutoff, random duplicate densities, and worker counts
+// well beyond GOMAXPROCS, Sort must equal the reference sort exactly.
+func TestSortMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	sizes := []int{0, 1, 2, 3, 17, 1000, SerialCutoff - 1, SerialCutoff, SerialCutoff + 1, 3 * SerialCutoff}
+	keySpaces := []uint64{0, 1, 2, 7, 1 << 20} // 0 = full 64-bit range
+	workerCounts := []int{0, 1, 2, 3, 4, 7, 16}
+	for _, n := range sizes {
+		for _, ks := range keySpaces {
+			in := randomPairs(rng, n, ks)
+			want := slices.Clone(in)
+			refSort(want)
+			for _, w := range workerCounts {
+				got := slices.Clone(in)
+				Sort(got, w)
+				if !slices.Equal(got, want) {
+					t.Fatalf("n=%d keySpace=%d workers=%d: Sort diverges from reference", n, ks, w)
+				}
+			}
+		}
+	}
+}
+
+// TestSortDuplicateKeyDeterminism pins the tie-break contract: with every
+// key identical, the output must be exactly index order at any worker
+// count.
+func TestSortDuplicateKeyDeterminism(t *testing.T) {
+	const n = 2*SerialCutoff + 5
+	for _, w := range []int{1, 2, 5, 8} {
+		kvs := make([]KV, n)
+		for i := range kvs {
+			kvs[i] = KV{K: 42, V: int32(n - 1 - i)}
+		}
+		Sort(kvs, w)
+		for i := range kvs {
+			if kvs[i].V != int32(i) {
+				t.Fatalf("workers=%d: equal-key tie-break broken at %d: got V=%d", w, i, kvs[i].V)
+			}
+		}
+	}
+}
+
+// TestSortAlreadySortedAndReversed covers the pdqsort fast paths through
+// the parallel scatter.
+func TestSortAlreadySortedAndReversed(t *testing.T) {
+	const n = SerialCutoff * 2
+	asc := make([]KV, n)
+	for i := range asc {
+		asc[i] = KV{K: uint64(i), V: int32(i)}
+	}
+	desc := make([]KV, n)
+	for i := range desc {
+		desc[i] = KV{K: uint64(n - i), V: int32(i)}
+	}
+	for _, w := range []int{1, 4} {
+		a := slices.Clone(asc)
+		Sort(a, w)
+		if !slices.Equal(a, asc) {
+			t.Fatalf("workers=%d: sorted input perturbed", w)
+		}
+		d := slices.Clone(desc)
+		want := slices.Clone(desc)
+		refSort(want)
+		Sort(d, w)
+		if !slices.Equal(d, want) {
+			t.Fatalf("workers=%d: reversed input missorted", w)
+		}
+	}
+}
+
+// TestSortIndexByKey checks the partitioner-facing wrapper: idx ends up in
+// (key, index) order and keys is untouched.
+func TestSortIndexByKey(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	n := SerialCutoff + 321
+	keys := make([]uint64, n)
+	for i := range keys {
+		keys[i] = rng.Uint64() % 64 // dense duplicates
+	}
+	orig := slices.Clone(keys)
+	for _, w := range []int{1, 3, 8} {
+		idx := make([]int32, n)
+		for i := range idx {
+			idx[i] = int32(i)
+		}
+		SortIndexByKey(keys, idx, w)
+		if !slices.Equal(keys, orig) {
+			t.Fatalf("workers=%d: keys modified", w)
+		}
+		for i := 1; i < n; i++ {
+			a, b := idx[i-1], idx[i]
+			if keys[a] > keys[b] || (keys[a] == keys[b] && a >= b) {
+				t.Fatalf("workers=%d: order violated at %d: (%d,%d) then (%d,%d)",
+					w, i, keys[a], a, keys[b], b)
+			}
+		}
+	}
+}
+
+func TestWorkersAndNumChunks(t *testing.T) {
+	if Workers(0) < 1 || Workers(-3) < 1 {
+		t.Fatal("Workers must resolve non-positive knobs to ≥ 1")
+	}
+	if Workers(5) != 5 {
+		t.Fatal("Workers must pass positive knobs through")
+	}
+	if NumChunks(3, 8) != 3 {
+		t.Fatalf("NumChunks(3,8) = %d, want 3", NumChunks(3, 8))
+	}
+	if NumChunks(0, 8) != 1 {
+		t.Fatalf("NumChunks(0,8) = %d, want 1", NumChunks(0, 8))
+	}
+}
+
+// TestForChunksCoversRange verifies the chunking is a disjoint exact cover
+// of [0, n).
+func TestForChunksCoversRange(t *testing.T) {
+	for _, n := range []int{0, 1, 7, 100, 1001} {
+		for _, w := range []int{1, 2, 3, 8, 200} {
+			hit := make([]int32, n)
+			ForChunks(n, w, func(_, lo, hi int) {
+				for i := lo; i < hi; i++ {
+					hit[i]++
+				}
+			})
+			for i, h := range hit {
+				if h != 1 {
+					t.Fatalf("n=%d w=%d: index %d covered %d times", n, w, i, h)
+				}
+			}
+		}
+	}
+}
+
+// FuzzSortMatchesReference feeds arbitrary key bytes and worker counts;
+// Sort must always equal the reference sort.
+func FuzzSortMatchesReference(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8, 9}, uint8(4))
+	f.Add([]byte{0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0}, uint8(1))
+	f.Add([]byte{255, 1, 255, 1, 255, 1}, uint8(7))
+	f.Fuzz(func(t *testing.T, data []byte, w uint8) {
+		kvs := make([]KV, len(data))
+		for i, b := range data {
+			// 3-bit keys: maximal duplicate pressure.
+			kvs[i] = KV{K: uint64(b & 7), V: int32(i)}
+		}
+		want := slices.Clone(kvs)
+		refSort(want)
+		got := slices.Clone(kvs)
+		Sort(got, int(w%9))
+		if !slices.Equal(got, want) {
+			t.Fatalf("workers=%d n=%d: mismatch", w%9, len(data))
+		}
+	})
+}
+
+// BenchmarkSampleSort compares the parallel sample sort against the serial
+// pdqsort baseline on uniformly random keys.
+func BenchmarkSampleSort(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	for _, n := range []int{1 << 16, 1 << 20} {
+		in := randomPairs(rng, n, 0)
+		b.Run(sizeName(n)+"/serial", func(b *testing.B) {
+			buf := make([]KV, n)
+			for i := 0; i < b.N; i++ {
+				copy(buf, in)
+				Sort(buf, 1)
+			}
+		})
+		b.Run(sizeName(n)+"/parallel", func(b *testing.B) {
+			buf := make([]KV, n)
+			for i := 0; i < b.N; i++ {
+				copy(buf, in)
+				Sort(buf, 0)
+			}
+		})
+	}
+}
+
+func sizeName(n int) string {
+	if n >= 1<<20 {
+		return "1M"
+	}
+	return "64k"
+}

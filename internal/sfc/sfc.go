@@ -15,7 +15,10 @@
 // use.
 package sfc
 
-import "plum/internal/geom"
+import (
+	"plum/internal/geom"
+	"plum/internal/psort"
+)
 
 // Bits is the lattice resolution per axis: coordinates are quantized to
 // [0, 2^Bits), and three axes interleave into a 3·Bits = 63-bit key.
@@ -237,18 +240,71 @@ func (q Quantizer) Key(c Curve, p geom.Vec3) uint64 {
 	return c.Encode(x, y, z)
 }
 
+// keysSerialCutoff is the point count below which the chunked worker pool
+// costs more than it recovers and KeysWorkers runs serially.
+const keysSerialCutoff = 1 << 12
+
+// EffectiveKeyWorkers returns the worker count KeysWorkers actually uses
+// for n points under the given knob: 1 when the serial path wins. Cost
+// models must divide key-generation time by this figure, not by the raw
+// knob.
+func EffectiveKeyWorkers(n, workers int) int {
+	w := psort.Workers(workers)
+	if w <= 1 || n < keysSerialCutoff {
+		return 1
+	}
+	return w
+}
+
 // Keys computes the curve keys of a point set, quantized over the set's
 // own bounding box. It is the one-call entry point used by the
-// partitioner.
+// partitioner; key generation parallelizes over GOMAXPROCS workers (see
+// KeysWorkers).
 func Keys(c Curve, pts []geom.Vec3) []uint64 {
+	return KeysWorkers(c, pts, 0)
+}
+
+// KeysWorkers is Keys with an explicit worker knob (≤ 0 = GOMAXPROCS).
+// The output is byte-identical at every worker count: the bounding box is
+// an exact min/max reduction (commutative and associative in float64, no
+// rounding), and each key depends only on its own point and the box.
+func KeysWorkers(c Curve, pts []geom.Vec3, workers int) []uint64 {
+	n := len(pts)
+	w := EffectiveKeyWorkers(n, workers)
+	if w <= 1 {
+		b := geom.EmptyAABB()
+		for _, p := range pts {
+			b = b.Extend(p)
+		}
+		q := NewQuantizer(b)
+		keys := make([]uint64, n)
+		for i, p := range pts {
+			keys[i] = q.Key(c, p)
+		}
+		return keys
+	}
+
+	// Chunked min/max reduction for the bounding box.
+	boxes := make([]geom.AABB, psort.NumChunks(n, w))
+	psort.ForChunks(n, w, func(chunk, lo, hi int) {
+		b := geom.EmptyAABB()
+		for _, p := range pts[lo:hi] {
+			b = b.Extend(p)
+		}
+		boxes[chunk] = b
+	})
 	b := geom.EmptyAABB()
-	for _, p := range pts {
-		b = b.Extend(p)
+	for _, cb := range boxes {
+		b = b.Union(cb)
 	}
+
+	// Chunked key fill: every write is to a distinct index.
 	q := NewQuantizer(b)
-	keys := make([]uint64, len(pts))
-	for i, p := range pts {
-		keys[i] = q.Key(c, p)
-	}
+	keys := make([]uint64, n)
+	psort.ForChunks(n, w, func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			keys[i] = q.Key(c, pts[i])
+		}
+	})
 	return keys
 }

@@ -153,6 +153,38 @@ func TestCurveString(t *testing.T) {
 	}
 }
 
+// TestKeysWorkersParity pins the parallel-pipeline contract: KeysWorkers
+// must be byte-identical to the serial path at every worker count, above
+// and below the serial cutoff.
+func TestKeysWorkersParity(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for _, n := range []int{0, 1, 100, keysSerialCutoff - 1, keysSerialCutoff, keysSerialCutoff * 3} {
+		pts := make([]geom.Vec3, n)
+		for i := range pts {
+			pts[i] = geom.Vec3{
+				X: rng.Float64()*20 - 10,
+				Y: rng.Float64() * 0.01, // anisotropic: exercises per-axis scaling
+				Z: rng.NormFloat64(),
+			}
+		}
+		for _, c := range []Curve{Morton, Hilbert} {
+			want := KeysWorkers(c, pts, 1)
+			for _, w := range []int{0, 2, 3, 5, 8, 64} {
+				got := KeysWorkers(c, pts, w)
+				if len(got) != len(want) {
+					t.Fatalf("%v n=%d workers=%d: length %d != %d", c, n, w, len(got), len(want))
+				}
+				for i := range got {
+					if got[i] != want[i] {
+						t.Fatalf("%v n=%d workers=%d: key %d differs: %#x != %#x",
+							c, n, w, i, got[i], want[i])
+					}
+				}
+			}
+		}
+	}
+}
+
 func absDiff(a, b uint32) uint32 {
 	if a > b {
 		return a - b
