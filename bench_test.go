@@ -20,6 +20,7 @@ import (
 	"plum/internal/mesh"
 	"plum/internal/par"
 	"plum/internal/partition"
+	"plum/internal/refine"
 	"plum/internal/remap"
 	"plum/internal/sfc"
 )
@@ -145,12 +146,13 @@ func BenchmarkSFCIncrementalRepartition(b *testing.B) {
 	a.MarkStrategyRefine(adapt.Local2, experiments.Seed)
 	a.Refine()
 	g.UpdateWeights(m)
+	r := refine.NewBandFM(0)
 	for _, c := range []sfc.Curve{sfc.Morton, sfc.Hilbert} {
 		s := partition.NewSFC(g, c)
 		b.Run(c.String(), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				asg := s.Repartition(g, 16)
-				partition.FMRefine(g, asg, 16, 2)
+				r.Refine(g, asg, 16, 2)
 				if len(asg) != g.N {
 					b.Fatal("bad assignment")
 				}

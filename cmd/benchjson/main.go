@@ -1,15 +1,16 @@
-// Command benchjson measures the parallel SFC partitioning pipeline and
-// writes the results as machine-readable JSON, so successive PRs can
-// track the perf trajectory without parsing `go test -bench` text.
+// Command benchjson measures the parallel partitioning and refinement
+// pipelines and writes the results as machine-readable JSON, so
+// successive PRs can track the perf trajectory without parsing
+// `go test -bench` text.
 //
-//	go run ./cmd/benchjson                  # writes BENCH_sfc.json
-//	go run ./cmd/benchjson -out - -k 32     # JSON to stdout, k=32 cuts
+//	go run ./cmd/benchjson                  # writes BENCH_sfc.json + BENCH_refine.json
+//	go run ./cmd/benchjson -out - -k 32     # SFC JSON to stdout, k=32 cuts
 //
 // Every exhibit is run at workers=1 (the serial baseline) and, when the
 // host has more than one CPU, workers=GOMAXPROCS; the derived speedup
-// fields are the acceptance figures of the parallel-pipeline PR. The
-// partition assignments are identical at every worker count, so the
-// comparison is pure wall time.
+// fields are the acceptance figures of the parallel-pipeline PRs. The
+// partition assignments and refined assignments are identical at every
+// worker count, so the comparison is pure wall time.
 package main
 
 import (
@@ -26,6 +27,7 @@ import (
 	"plum/internal/experiments"
 	"plum/internal/partition"
 	"plum/internal/psort"
+	"plum/internal/refine"
 	"plum/internal/sfc"
 )
 
@@ -37,7 +39,7 @@ type Bench struct {
 	NsPerOp float64 `json:"ns_per_op"`
 }
 
-// Report is the BENCH_sfc.json schema.
+// Report is the schema shared by BENCH_sfc.json and BENCH_refine.json.
 type Report struct {
 	GoMaxProcs int     `json:"gomaxprocs"`
 	GoVersion  string  `json:"go_version"`
@@ -49,11 +51,63 @@ type Report struct {
 	Speedups map[string]float64 `json:"speedups,omitempty"`
 }
 
+// exhibit is one named benchmark body, parameterized by worker count.
+type exhibit struct {
+	name string
+	run  func(w int, b *testing.B)
+}
+
+// measure runs every exhibit at every worker count, filling the report's
+// bench rows and speedup map.
+func measure(rep *Report, exhibits []exhibit, workerCounts []int) {
+	nsPerOp := map[string]map[int]float64{}
+	for _, ex := range exhibits {
+		nsPerOp[ex.name] = map[int]float64{}
+		for _, w := range workerCounts {
+			w := w
+			res := testing.Benchmark(func(b *testing.B) { ex.run(w, b) })
+			ns := float64(res.NsPerOp())
+			nsPerOp[ex.name][w] = ns
+			rep.Benches = append(rep.Benches, Bench{
+				Name: ex.name, Workers: w, N: res.N, NsPerOp: ns,
+			})
+			log.Printf("%-18s workers=%-2d %12.0f ns/op (%d iters)", ex.name, w, ns, res.N)
+		}
+	}
+	if rep.GoMaxProcs > 1 {
+		rep.Speedups = map[string]float64{}
+		p := rep.GoMaxProcs
+		for name, byW := range nsPerOp {
+			if byW[p] > 0 {
+				rep.Speedups[name] = byW[1] / byW[p]
+			}
+		}
+	}
+}
+
+// write emits the report to path ('-' for stdout).
+func write(rep *Report, path string) {
+	enc, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	enc = append(enc, '\n')
+	if path == "-" {
+		fmt.Print(string(enc))
+		return
+	}
+	if err := os.WriteFile(path, enc, 0o644); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("wrote %s", path)
+}
+
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("benchjson: ")
-	out := flag.String("out", "BENCH_sfc.json", "output path ('-' for stdout)")
-	k := flag.Int("k", 16, "partition count for the cut benches")
+	out := flag.String("out", "BENCH_sfc.json", "SFC pipeline output path ('-' for stdout)")
+	refineOut := flag.String("refineout", "BENCH_refine.json", "refinement output path ('-' for stdout, '' to skip)")
+	k := flag.Int("k", 16, "partition count for the cut and refinement benches")
 	flag.Parse()
 
 	m := experiments.BaseMesh()
@@ -63,15 +117,18 @@ func main() {
 	a.Refine()
 	g.UpdateWeights(m)
 
-	rep := Report{
-		GoMaxProcs: runtime.GOMAXPROCS(0),
-		GoVersion:  runtime.Version(),
-		MeshElems:  g.N,
-		K:          *k,
+	newReport := func() Report {
+		return Report{
+			GoMaxProcs: runtime.GOMAXPROCS(0),
+			GoVersion:  runtime.Version(),
+			MeshElems:  g.N,
+			K:          *k,
+		}
 	}
+	sfcRep := newReport()
 	workerCounts := []int{1}
-	if rep.GoMaxProcs > 1 {
-		workerCounts = append(workerCounts, rep.GoMaxProcs)
+	if sfcRep.GoMaxProcs > 1 {
+		workerCounts = append(workerCounts, sfcRep.GoMaxProcs)
 	}
 
 	// Pre-built inputs shared by the micro exhibits.
@@ -85,10 +142,7 @@ func main() {
 		incr[w] = partition.NewSFCWorkers(g, sfc.Hilbert, w)
 	}
 
-	exhibits := []struct {
-		name string
-		run  func(w int, b *testing.B)
-	}{
+	measure(&sfcRep, []exhibit{
 		{"SFCKeys/hilbert", func(w int, b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				if got := sfc.KeysWorkers(sfc.Hilbert, g.Centroid, w); len(got) != g.N {
@@ -119,43 +173,50 @@ func main() {
 				}
 			}
 		}},
-	}
+	}, workerCounts)
+	write(&sfcRep, *out)
 
-	nsPerOp := map[string]map[int]float64{}
-	for _, ex := range exhibits {
-		nsPerOp[ex.name] = map[int]float64{}
-		for _, w := range workerCounts {
-			w := w
-			res := testing.Benchmark(func(b *testing.B) { ex.run(w, b) })
-			ns := float64(res.NsPerOp())
-			nsPerOp[ex.name][w] = ns
-			rep.Benches = append(rep.Benches, Bench{
-				Name: ex.name, Workers: w, N: res.N, NsPerOp: ns,
-			})
-			log.Printf("%-18s workers=%-2d %12.0f ns/op (%d iters)", ex.name, w, ns, res.N)
-		}
-	}
-	if rep.GoMaxProcs > 1 {
-		rep.Speedups = map[string]float64{}
-		p := rep.GoMaxProcs
-		for name, byW := range nsPerOp {
-			if byW[p] > 0 {
-				rep.Speedups[name] = byW[1] / byW[p]
-			}
-		}
-	}
-
-	enc, err := json.MarshalIndent(&rep, "", "  ")
-	if err != nil {
-		log.Fatal(err)
-	}
-	enc = append(enc, '\n')
-	if *out == "-" {
-		fmt.Print(string(enc))
+	if *refineOut == "" {
 		return
 	}
-	if err := os.WriteFile(*out, enc, 0o644); err != nil {
-		log.Fatal(err)
-	}
-	log.Printf("wrote %s", *out)
+
+	// Refinement exhibits: smooth a fresh copy of the raw Hilbert cut
+	// each iteration (the exact call the framework makes after every
+	// incremental repartition). The raw cut is computed once; refiners
+	// mutate only the copy.
+	raw := incr[1].Repartition(g, *k)
+	buf := make([]int32, len(raw))
+	refineRep := newReport()
+	measure(&refineRep, []exhibit{
+		{"BandFM", func(w int, b *testing.B) {
+			r := refine.NewBandFM(w)
+			for i := 0; i < b.N; i++ {
+				copy(buf, raw)
+				if ops := r.Refine(g, buf, *k, 2); ops.Total <= 0 {
+					b.Fatal("no refinement work reported")
+				}
+			}
+		}},
+		{"Diffusion", func(w int, b *testing.B) {
+			r := refine.NewDiffusion(w)
+			for i := 0; i < b.N; i++ {
+				copy(buf, raw)
+				if ops := r.Refine(g, buf, *k, 2); ops.Total <= 0 {
+					b.Fatal("no refinement work reported")
+				}
+			}
+		}},
+		// The classic serial sweep ignores the worker knob — its row at
+		// workers=P is the flat baseline the parallel backends beat.
+		{"FMSerial", func(w int, b *testing.B) {
+			var r refine.FM
+			for i := 0; i < b.N; i++ {
+				copy(buf, raw)
+				if ops := r.Refine(g, buf, *k, 2); ops.Total <= 0 {
+					b.Fatal("no refinement work reported")
+				}
+			}
+		}},
+	}, workerCounts)
+	write(&refineRep, *refineOut)
 }

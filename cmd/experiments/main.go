@@ -9,18 +9,27 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 )
 
-import "plum/internal/experiments"
+import (
+	"plum/internal/experiments"
+	"plum/internal/refine"
+)
 
 func main() {
 	exp := flag.String("exp", "all", "experiment to run: table1, fig8, fig9, fig10, fig11, fig12, extension, partitioners, all")
 	k := flag.Int("k", 16, "partition count for -exp partitioners")
-	workers := flag.Int("workers", 0, "worker goroutines for parallel partitioning phases (0 = GOMAXPROCS)")
+	workers := flag.Int("workers", 0, "worker goroutines for parallel partitioning and refinement phases (0 = GOMAXPROCS)")
+	refiner := flag.String("refiner", "", "boundary-refinement backend for -exp partitioners: "+strings.Join(refine.Names, ", ")+" ('' = per-backend default)")
 	flag.Parse()
 	if *k < 1 {
 		fmt.Fprintf(os.Stderr, "invalid -k %d: need at least 1 partition\n", *k)
+		os.Exit(2)
+	}
+	if _, ok := refine.ByName(*refiner, *workers); !ok {
+		fmt.Fprintf(os.Stderr, "unknown refiner %q (have %s)\n", *refiner, strings.Join(refine.Names, ", "))
 		os.Exit(2)
 	}
 
@@ -35,7 +44,7 @@ func main() {
 		{"fig11", func() fmt.Stringer { return experiments.RunFig11() }},
 		{"fig12", func() fmt.Stringer { return experiments.RunFig12() }},
 		{"extension", func() fmt.Stringer { return experiments.RunExtensionRepeated(8, 6) }},
-		{"partitioners", func() fmt.Stringer { return experiments.RunPartitionerTable(*k, *workers) }},
+		{"partitioners", func() fmt.Stringer { return experiments.RunPartitionerTable(*k, *workers, *refiner) }},
 	}
 
 	ran := false

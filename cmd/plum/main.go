@@ -21,6 +21,7 @@ import (
 	"plum/internal/meshgen"
 	"plum/internal/partition"
 	"plum/internal/psort"
+	"plum/internal/refine"
 	"plum/internal/solver"
 )
 
@@ -36,8 +37,9 @@ func main() {
 		thresh  = flag.Float64("threshold", 1.2, "imbalance threshold Wmax/Wavg for repartitioning")
 		mapper  = flag.String("mapper", "heuristic", "processor reassignment: heuristic, optimal")
 		parter  = flag.String("partitioner", "multilevel", "repartitioner: graphgrow, inertial, spectral, multilevel, morton, hilbert")
+		refiner = flag.String("refiner", "", "boundary-refinement backend: bandfm, diffusion, fm (default: band-FM for the SFC path, classic FM inside multilevel)")
 		seed    = flag.Int64("seed", 1, "random seed")
-		workers = flag.Int("workers", 0, "worker goroutines for parallel partitioning phases (0 = GOMAXPROCS)")
+		workers = flag.Int("workers", 0, "worker goroutines for parallel partitioning and refinement phases (0 = GOMAXPROCS)")
 		scale   = flag.Float64("scale", 1.0, "mesh scale factor (1.0 = paper's 61k elements)")
 		verbose = flag.Bool("v", false, "print adaption phase breakdowns")
 	)
@@ -61,6 +63,10 @@ func main() {
 		log.Fatalf("unknown partitioner %q", *parter)
 	}
 	cfg.Method = method
+	if _, ok := refine.ByName(*refiner, *workers); !ok {
+		log.Fatalf("unknown refiner %q (have %v)", *refiner, refine.Names)
+	}
+	cfg.Refiner = *refiner
 
 	rp := meshgen.DefaultRotor()
 	if *scale != 1.0 {
@@ -81,8 +87,12 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Printf("mesh: %s\n", m.Stats())
-	fmt.Printf("config: P=%d F=%d threshold=%.2f mapper=%s partitioner=%s workers=%d\n",
-		cfg.P, cfg.F, cfg.ImbalanceThreshold, cfg.Mapper, cfg.Method, psort.Workers(cfg.Workers))
+	refName := cfg.Refiner
+	if refName == "" {
+		refName = "auto"
+	}
+	fmt.Printf("config: P=%d F=%d threshold=%.2f mapper=%s partitioner=%s refiner=%s workers=%d\n",
+		cfg.P, cfg.F, cfg.ImbalanceThreshold, cfg.Mapper, cfg.Method, refName, psort.Workers(cfg.Workers))
 
 	var stratFn func(a *adapt.Adaptor)
 	switch *strat {
@@ -129,8 +139,9 @@ func main() {
 				rep.AdaptTime.Target, rep.AdaptTime.Propagate, rep.AdaptTime.Execute,
 				rep.AdaptTime.Classify, rep.AdaptTime.CommRounds, rep.AdaptTime.Msgs)
 			if b.Repartitioned {
-				fmt.Printf("         repart ops=%d crit=%d t=%.3gs reassign ops=%d t=%.3gs\n",
-					b.RepartitionOps, b.RepartitionCritOps, b.RepartitionTime,
+				fmt.Printf("         repart ops=%d crit=%d (refine %d/%d) compT=%.3gs memT=%.3gs reassign ops=%d t=%.3gs\n",
+					b.RepartitionOps, b.RepartitionCritOps, b.RefineOps, b.RefineCritOps,
+					b.RepartitionCompTime, b.RepartitionMemTime,
 					b.ReassignOps, b.ReassignTime)
 			}
 		}

@@ -18,6 +18,7 @@ import (
 	"plum/internal/mesh"
 	"plum/internal/par"
 	"plum/internal/partition"
+	"plum/internal/refine"
 	"plum/internal/remap"
 	"plum/internal/solver"
 )
@@ -59,10 +60,18 @@ type Config struct {
 	// Seed drives any randomized components.
 	Seed int64
 	// Workers bounds the worker-goroutine count of the parallel
-	// partitioning phases (SFC key generation, sample sort, chunked
-	// weighted cut). ≤ 0 means runtime.GOMAXPROCS. Partition assignments
-	// are identical at every worker count; only wall time changes.
+	// partitioning and refinement phases (SFC key generation, sample
+	// sort, chunked weighted cut, band-FM gain scatter). ≤ 0 means
+	// runtime.GOMAXPROCS. Partition assignments are identical at every
+	// worker count; only wall time changes.
 	Workers int
+	// Refiner names the boundary-refinement backend applied after every
+	// repartition: "bandfm" (the deterministic band-limited parallel
+	// FM), "diffusion" (Jostle-style weighted diffusion), or "fm" (the
+	// classic serial sweep). "" keeps each backend's own default —
+	// band-FM for the parallel SFC path, classic FM inside Multilevel.
+	// See internal/refine.
+	Refiner string
 	// PreAdapt uniformly refines the mesh this many times before the
 	// dual graph is built, then rebases the refinement history — the
 	// paper's remedy when the initial mesh is too small for good
@@ -109,6 +118,26 @@ type Framework struct {
 	sfcCache *partition.SFCPartitioner
 }
 
+// refiner resolves the boundary-refinement backend for the SFC hot path
+// at the framework's worker knob ("" resolves to the band-FM default);
+// New validated the name, so the fallback is purely defensive.
+func (f *Framework) refiner() refine.Refiner {
+	if r, ok := refine.ByName(f.Cfg.Refiner, f.Cfg.Workers); ok {
+		return r
+	}
+	return refine.NewBandFM(f.Cfg.Workers)
+}
+
+// optRefiner returns the refiner forced on every partitioning backend,
+// or nil when the config leaves each backend its own default ("").
+func optRefiner(cfg Config) refine.Refiner {
+	if cfg.Refiner == "" {
+		return nil
+	}
+	r, _ := refine.ByName(cfg.Refiner, cfg.Workers)
+	return r
+}
+
 // repartition divides the dual graph into k parts with the configured
 // method and returns the abstract operation accounting of the
 // partitioning itself. Every backend reports honest, nonzero cost: the
@@ -117,11 +146,12 @@ type Framework struct {
 // its spectral partitioner); the SFC methods use the cached curve order,
 // so only the first call pays the O(n log n) parallel sort and the
 // critical-path count divides the parallel phases across Cfg.Workers.
+// Refinement ops land in the Mem share, charged at Model.MemOp.
 func (f *Framework) repartition(k int) (partition.Assignment, partition.Ops) {
 	c, ok := f.Cfg.Method.Curve()
 	if !ok {
 		return partition.PartitionCounted(f.G, k, f.Cfg.Method,
-			partition.Options{Workers: f.Cfg.Workers, Seed: f.Cfg.Seed})
+			partition.Options{Workers: f.Cfg.Workers, Seed: f.Cfg.Seed, Refiner: optRefiner(f.Cfg)})
 	}
 	var ops partition.Ops
 	if f.sfcCache == nil || f.sfcCache.Curve != c {
@@ -132,7 +162,7 @@ func (f *Framework) repartition(k int) (partition.Assignment, partition.Ops) {
 	asg := f.sfcCache.Repartition(f.G, k)
 	ops.Total += f.sfcCache.LastOps
 	ops.Crit += f.sfcCache.LastCritOps
-	ops.AddSerial(partition.FMRefine(f.G, asg, k, 2))
+	ops.AddMem(f.refiner().Refine(f.G, asg, k, 2))
 	return asg, ops
 }
 
@@ -142,6 +172,9 @@ func (f *Framework) repartition(k int) (partition.Assignment, partition.Ops) {
 func New(m *mesh.Mesh, sol *solver.Solver, cfg Config) (*Framework, error) {
 	if cfg.P < 1 || cfg.F < 1 {
 		return nil, fmt.Errorf("core: invalid P=%d F=%d", cfg.P, cfg.F)
+	}
+	if _, ok := refine.ByName(cfg.Refiner, cfg.Workers); !ok {
+		return nil, fmt.Errorf("core: unknown refiner %q (have %v)", cfg.Refiner, refine.Names)
 	}
 	for i := 0; i < cfg.PreAdapt; i++ {
 		pa := adapt.New(m)
@@ -175,9 +208,10 @@ func New(m *mesh.Mesh, sol *solver.Solver, cfg Config) (*Framework, error) {
 }
 
 // partitionMaybeAgglomerated partitions g into cfg.P parts, optionally via
-// superelement agglomeration for very large duals.
+// superelement agglomeration for very large duals. New already validated
+// cfg.Refiner.
 func partitionMaybeAgglomerated(g *dual.Graph, cfg Config) partition.Assignment {
-	opt := partition.Options{Workers: cfg.Workers, Seed: cfg.Seed}
+	opt := partition.Options{Workers: cfg.Workers, Seed: cfg.Seed, Refiner: optRefiner(cfg)}
 	if cfg.Agglomerate <= 1 {
 		asg, _ := partition.PartitionCounted(g, cfg.P, cfg.Method, opt)
 		return asg
@@ -230,14 +264,26 @@ type BalanceReport struct {
 	MoveC     int64
 	MoveN     int
 	// RepartitionOps and RepartitionCritOps describe the partitioner's
-	// work: total ops summed over all workers, and the critical-path
-	// share (what a parallel machine actually waits for — equal for the
-	// serial graph backends). Every backend reports nonzero cost.
-	// RepartitionTime charges the critical path at Model.AlgOp.
+	// work including refinement: total ops summed over all workers, and
+	// the critical-path share (what a parallel machine actually waits
+	// for — equal for fully serial backends). Every backend reports
+	// nonzero cost.
 	RepartitionOps     int64
 	RepartitionCritOps int64
-	RepartitionTime    float64
-	// ReassignOps and ReassignTime describe the mapper's work.
+	// RefineOps and RefineCritOps are the memory-bound refinement share
+	// of the figures above (the band-FM/diffusion gain scatter), charged
+	// at Model.MemOp; the compute-bound remainder (key encoding, sorts,
+	// eigen-solves) is charged at Model.CompOp.
+	RefineOps     int64
+	RefineCritOps int64
+	// RepartitionTime = RepartitionCompTime + RepartitionMemTime: the
+	// modeled wall clock of the whole repartition, split across the two
+	// machine rates.
+	RepartitionTime     float64
+	RepartitionCompTime float64
+	RepartitionMemTime  float64
+	// ReassignOps and ReassignTime describe the mapper's work
+	// (similarity-matrix scans: memory-bound, charged at Model.MemOp).
 	ReassignOps  int64
 	ReassignTime float64
 	// Gain and Cost are the two sides of the acceptance test; Accepted
@@ -270,7 +316,11 @@ func (f *Framework) Balance() (BalanceReport, error) {
 	newPart, partOps := f.repartition(nParts)
 	rep.RepartitionOps = partOps.Total
 	rep.RepartitionCritOps = partOps.Crit
-	rep.RepartitionTime = float64(partOps.Crit) * f.Cfg.Model.AlgOp
+	rep.RefineOps = partOps.MemTotal
+	rep.RefineCritOps = partOps.MemCrit
+	rep.RepartitionCompTime = float64(partOps.Crit-partOps.MemCrit) * f.Cfg.Model.CompOp
+	rep.RepartitionMemTime = float64(partOps.MemCrit) * f.Cfg.Model.MemOp
+	rep.RepartitionTime = rep.RepartitionCompTime + rep.RepartitionMemTime
 
 	// Similarity matrix + processor reassignment.
 	sim := remap.Build(f.D.Owners(), newPart, f.G.Wremap, f.Cfg.P, f.Cfg.F)
@@ -284,7 +334,7 @@ func (f *Framework) Balance() (BalanceReport, error) {
 		return rep, err
 	}
 	rep.ReassignOps = sim.LastOps
-	rep.ReassignTime = float64(sim.LastOps) * f.Cfg.Model.AlgOp
+	rep.ReassignTime = float64(sim.LastOps) * f.Cfg.Model.MemOp
 
 	// Projected new loads under the mapping.
 	newLoads := make([]int64, f.Cfg.P)

@@ -8,6 +8,7 @@ import (
 	"plum/internal/geom"
 	"plum/internal/meshgen"
 	"plum/internal/partition"
+	"plum/internal/refine"
 	"plum/internal/solver"
 )
 
@@ -259,6 +260,71 @@ func TestBalanceChargesEveryPartitioner(t *testing.T) {
 			t.Errorf("%v: cost %.6g does not include the balancing overhead (want %.6g)",
 				meth, rep.Cost, wantCost)
 		}
+	}
+}
+
+// TestBalanceSplitsMemCompTime pins the MemOp/CompOp machine-model
+// split: the refinement share of the repartition ops is reported
+// separately, charged at Model.MemOp, and the compute-bound remainder at
+// Model.CompOp, with RepartitionTime their exact sum.
+func TestBalanceSplitsMemCompTime(t *testing.T) {
+	f := newFW(t, 8)
+	f.Cfg.Method = partition.MethodHilbertSFC
+	f.A.MarkRegion(geom.Sphere{Center: geom.Vec3{}, Radius: 0.6}, adapt.MarkRefine)
+	f.A.Refine()
+	f.A.MarkRegion(geom.Sphere{Center: geom.Vec3{}, Radius: 0.4}, adapt.MarkRefine)
+	f.A.Refine()
+	rep, err := f.Balance()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Repartitioned {
+		t.Fatal("fixture did not trigger repartitioning")
+	}
+	if rep.RefineOps <= 0 || rep.RefineCritOps <= 0 {
+		t.Errorf("refinement share not reported: %d/%d", rep.RefineOps, rep.RefineCritOps)
+	}
+	if rep.RefineOps > rep.RepartitionOps || rep.RefineCritOps > rep.RepartitionCritOps {
+		t.Errorf("refinement share %d/%d exceeds repartition totals %d/%d",
+			rep.RefineOps, rep.RefineCritOps, rep.RepartitionOps, rep.RepartitionCritOps)
+	}
+	wantComp := float64(rep.RepartitionCritOps-rep.RefineCritOps) * f.Cfg.Model.CompOp
+	wantMem := float64(rep.RefineCritOps) * f.Cfg.Model.MemOp
+	if math.Abs(rep.RepartitionCompTime-wantComp) > 1e-15 ||
+		math.Abs(rep.RepartitionMemTime-wantMem) > 1e-15 {
+		t.Errorf("time split %.3g/%.3g, want %.3g/%.3g",
+			rep.RepartitionCompTime, rep.RepartitionMemTime, wantComp, wantMem)
+	}
+	if math.Abs(rep.RepartitionTime-(wantComp+wantMem)) > 1e-15 {
+		t.Errorf("RepartitionTime %.3g != comp+mem %.3g", rep.RepartitionTime, wantComp+wantMem)
+	}
+	if rep.ReassignTime != float64(rep.ReassignOps)*f.Cfg.Model.MemOp {
+		t.Errorf("reassignment not charged at MemOp")
+	}
+}
+
+// TestRefinerKnob runs the balance pipeline under every refinement
+// backend and rejects unknown names at construction.
+func TestRefinerKnob(t *testing.T) {
+	for _, name := range refine.Names {
+		f := newFW(t, 8)
+		f.Cfg.Refiner = name
+		f.Cfg.Method = partition.MethodHilbertSFC
+		f.A.MarkRegion(geom.Sphere{Center: geom.Vec3{}, Radius: 0.6}, adapt.MarkRefine)
+		f.A.Refine()
+		f.A.MarkRegion(geom.Sphere{Center: geom.Vec3{}, Radius: 0.4}, adapt.MarkRefine)
+		f.A.Refine()
+		rep, err := f.Balance()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if rep.Repartitioned && rep.Accepted && rep.ImbalanceAfter >= rep.ImbalanceBefore {
+			t.Errorf("%s: accepted remap did not improve balance: %.3f -> %.3f",
+				name, rep.ImbalanceBefore, rep.ImbalanceAfter)
+		}
+	}
+	if _, err := New(meshgen.SmallBox(), nil, Config{P: 2, F: 1, Refiner: "nope"}); err == nil {
+		t.Error("accepted unknown refiner")
 	}
 }
 

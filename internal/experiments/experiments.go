@@ -261,7 +261,7 @@ func runBalancePipeline(s adapt.Strategy, p, fgran int, optimal bool, mdl machin
 		mp, res.Objective = sim.Heuristic()
 	}
 	res.ReassignOps = sim.LastOps
-	res.ReassignTime = float64(sim.LastOps) * mdl.AlgOp
+	res.ReassignTime = float64(sim.LastOps) * mdl.MemOp
 	res.Moved, res.Sets = sim.MoveStats(mp)
 
 	newLoads := make([]int64, p)
@@ -335,12 +335,12 @@ func RunFig10() *Fig10 {
 
 			mpH, objH := sim.Heuristic()
 			pt.HeuristicObj = objH
-			pt.HeuristicTime = float64(sim.LastOps) * mdl.AlgOp
+			pt.HeuristicTime = float64(sim.LastOps) * mdl.MemOp
 			pt.HeuristicMoved, _ = sim.MoveStats(mpH)
 
 			mpO, objO := sim.Optimal()
 			pt.OptimalObj = objO
-			pt.OptimalTime = float64(sim.LastOps) * mdl.AlgOp
+			pt.OptimalTime = float64(sim.LastOps) * mdl.MemOp
 			pt.OptimalMoved, _ = sim.MoveStats(mpO)
 
 			out.Points = append(out.Points, pt)

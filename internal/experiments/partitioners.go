@@ -9,6 +9,7 @@ import (
 	"plum/internal/adapt"
 	"plum/internal/dual"
 	"plum/internal/partition"
+	"plum/internal/refine"
 )
 
 // PartitionerRow is one backend's quality/cost measurement on the
@@ -37,14 +38,18 @@ type PartitionerRow struct {
 // reach spectral-class balance at a fraction of the cost, and repartition
 // incrementally in O(n).
 type PartitionerTable struct {
-	K    int
-	Rows []PartitionerRow
+	K       int
+	Refiner string
+	Rows    []PartitionerRow
 }
 
 // RunPartitionerTable measures all backends on the Local_2-adapted paper
 // mesh, partitioning into k parts (k < 1 is treated as 1) with the given
-// worker knob for the parallel SFC phases (≤ 0 = GOMAXPROCS).
-func RunPartitionerTable(k, workers int) *PartitionerTable {
+// worker knob for the parallel SFC and refinement phases (≤ 0 =
+// GOMAXPROCS). A named refinement backend is forced on every
+// partitioner; "" leaves each backend its own default (band-FM for the
+// SFC pipeline and GraphGrow, classic FM inside Multilevel).
+func RunPartitionerTable(k, workers int, refiner string) *PartitionerTable {
 	if k < 1 {
 		k = 1
 	}
@@ -55,8 +60,23 @@ func RunPartitionerTable(k, workers int) *PartitionerTable {
 	a.Refine()
 	g.UpdateWeights(m)
 
-	opt := partition.Options{Workers: workers}
-	out := &PartitionerTable{K: k}
+	// "" leaves every backend its own default refiner; a concrete name is
+	// forced on all of them. The incremental exhibit always refines with
+	// the SFC path's default (band-FM) unless a name was forced.
+	var forced refine.Refiner
+	label := "auto"
+	if refiner != "" {
+		if r, ok := refine.ByName(refiner, workers); ok {
+			forced = r
+			label = r.Name()
+		}
+	}
+	incR := forced
+	if incR == nil {
+		incR = refine.NewBandFM(workers)
+	}
+	opt := partition.Options{Workers: workers, Refiner: forced}
+	out := &PartitionerTable{K: k, Refiner: label}
 	for _, meth := range partition.Methods {
 		row := PartitionerRow{Method: meth}
 		var asg partition.Assignment
@@ -70,7 +90,7 @@ func RunPartitionerTable(k, workers int) *PartitionerTable {
 			s := partition.NewSFCWorkers(g, c, workers)
 			row.IncrementalSeconds = minTime(func() {
 				inc := s.Repartition(g, k)
-				partition.FMRefine(g, inc, k, 2)
+				incR.Refine(g, inc, k, 2)
 			})
 		}
 		out.Rows = append(out.Rows, row)
@@ -113,16 +133,16 @@ func (t *PartitionerTable) Row(m partition.Method) PartitionerRow {
 // backends).
 func (t *PartitionerTable) String() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "Partitioner backends on the Local_2-adapted mesh, k=%d (host wall time)\n", t.K)
-	fmt.Fprintf(&b, "%-12s%14s%14s%14s%14s%12s%12s\n",
-		"method", "t_part (s)", "t_incr (s)", "ops", "crit ops", "Wmax/Wavg", "edge cut")
+	fmt.Fprintf(&b, "Partitioner backends on the Local_2-adapted mesh, k=%d, refiner=%s (host wall time)\n", t.K, t.Refiner)
+	fmt.Fprintf(&b, "%-12s%14s%14s%14s%14s%14s%12s%12s\n",
+		"method", "t_part (s)", "t_incr (s)", "ops", "crit ops", "refine crit", "Wmax/Wavg", "edge cut")
 	for _, r := range t.Rows {
 		inc := "-"
 		if r.IncrementalSeconds > 0 {
 			inc = fmt.Sprintf("%.6f", r.IncrementalSeconds)
 		}
-		fmt.Fprintf(&b, "%-12s%14.6f%14s%14d%14d%12.4f%12d\n",
-			r.Method, r.PartitionSeconds, inc, r.Ops.Total, r.Ops.Crit, r.Imbalance, r.EdgeCut)
+		fmt.Fprintf(&b, "%-12s%14.6f%14s%14d%14d%14d%12.4f%12d\n",
+			r.Method, r.PartitionSeconds, inc, r.Ops.Total, r.Ops.Crit, r.Ops.MemCrit, r.Imbalance, r.EdgeCut)
 	}
 	return b.String()
 }

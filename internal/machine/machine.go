@@ -43,10 +43,17 @@ type Model struct {
 	// ElemWords is the words of storage per element moved during
 	// remapping (the paper's M).
 	ElemWords int
-	// AlgOp is the cost of one inner-loop operation of the processor
-	// reassignment algorithms (similarity matrix scans, Hungarian
-	// updates), used to time reassignment on the same axis.
-	AlgOp float64
+	// CompOp is the cost of one compute-bound inner-loop operation of
+	// the load-balancing algorithms (Hilbert/Morton key encoding, sort
+	// comparisons, Lanczos flops): arithmetic that streams through
+	// cache. It replaces the lower half of the old blended AlgOp.
+	CompOp float64
+	// MemOp is the cost of one memory-bound inner-loop operation
+	// (boundary-refinement gain scatter over adjacency lists,
+	// similarity-matrix scans, Hungarian updates): pointer chasing
+	// dominated by memory latency, roughly twice the compute rate on
+	// 1996-class hardware. It replaces the upper half of the old AlgOp.
+	MemOp float64
 }
 
 // SP2 returns the model calibrated to the paper's 64-node IBM SP2.
@@ -63,7 +70,8 @@ func SP2() Model {
 		Tlat:           0.25e-6,
 		Tsetup:         40e-6,
 		ElemWords:      50,
-		AlgOp:          0.04e-6,
+		CompOp:         0.03e-6,
+		MemOp:          0.06e-6,
 	}
 }
 

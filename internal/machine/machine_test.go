@@ -19,6 +19,22 @@ func TestSP2Constants(t *testing.T) {
 	}
 }
 
+func TestMemCompSplit(t *testing.T) {
+	m := SP2()
+	if m.CompOp <= 0 || m.MemOp <= 0 {
+		t.Fatalf("degenerate balance-op rates: comp=%g mem=%g", m.CompOp, m.MemOp)
+	}
+	// The split's premise: pointer-chasing scatter ops cost more than
+	// cache-streaming arithmetic on 1996-class memory systems, and both
+	// bracket the old blended 0.04 µs AlgOp they replaced.
+	if m.MemOp <= m.CompOp {
+		t.Errorf("MemOp %g not slower than CompOp %g", m.MemOp, m.CompOp)
+	}
+	if m.CompOp > 0.04e-6 || m.MemOp < 0.04e-6 {
+		t.Errorf("split [%g, %g] does not bracket the old AlgOp", m.CompOp, m.MemOp)
+	}
+}
+
 func TestClockSuperstep(t *testing.T) {
 	c := NewClock(3)
 	if c.P() != 3 {

@@ -2,31 +2,42 @@ package partition
 
 import (
 	"math/rand"
+	"slices"
 
 	"plum/internal/dual"
 	"plum/internal/geom"
+	"plum/internal/refine"
 )
 
 // Multilevel partitions by the Chaco-style multilevel scheme: the dual
 // graph is coarsened by repeated edge matchings until it is small, the
 // coarse graph is partitioned spectrally, and the partition is projected
-// back up with Fiduccia–Mattheyses boundary refinement at every level.
+// back up with boundary refinement at every level.
 func Multilevel(g *dual.Graph, k int) Assignment {
-	asg, _ := multilevelCounted(g, k, 1)
+	asg, _ := multilevelCounted(g, k, Options{Seed: 1})
 	return asg
 }
 
 // multilevelCounted is Multilevel with op accounting: the matching and
 // edge-collapse work of every coarsening level, the spectral solve on the
-// coarsest graph, and the projection plus FM refinement of every
-// uncoarsening level. The scheme is serial, so Total == Crit. seed
-// offsets the per-level matching RNG; seed 1 reproduces the historical
-// level-index seeding.
-func multilevelCounted(g *dual.Graph, k int, seed int64) (Assignment, Ops) {
+// coarsest graph, and the projection plus boundary refinement of every
+// uncoarsening level. The scheme itself is serial (only the configured
+// refiner's passes may parallelize, on levels big enough to engage it).
+// opt.Seed offsets the per-level matching RNG; seed 1 reproduces the
+// historical level-index seeding.
+func multilevelCounted(g *dual.Graph, k int, opt Options) (Assignment, Ops) {
 	const coarseTarget = 200
 	target := coarseTarget
 	if 4*k > target {
 		target = 4 * k
+	}
+	seed := opt.Seed
+	// Multilevel's per-level graphs are small and the scheme is serial,
+	// so its historical default refiner is the classic cascading FM
+	// sweep; an explicitly configured backend (Options.Refiner) wins.
+	r := opt.Refiner
+	if r == nil {
+		r = refine.FM{}
 	}
 
 	var ops Ops
@@ -51,7 +62,7 @@ func multilevelCounted(g *dual.Graph, k int, seed int64) (Assignment, Ops) {
 	// Initial partition of the coarsest graph.
 	asg, sops := spectralCounted(cur, k)
 	ops.Add(sops)
-	ops.AddSerial(FMRefine(cur, asg, k, 4))
+	ops.AddMem(r.Refine(cur, asg, k, 4))
 
 	// Uncoarsen with refinement.
 	for li := len(levels) - 1; li >= 1; li-- {
@@ -63,7 +74,7 @@ func multilevelCounted(g *dual.Graph, k int, seed int64) (Assignment, Ops) {
 		}
 		asg = fineAsg
 		ops.AddSerial(int64(fine.N))
-		ops.AddSerial(FMRefine(fine, asg, k, 2))
+		ops.AddMem(r.Refine(fine, asg, k, 2))
 	}
 	return asg, ops
 }
@@ -131,7 +142,11 @@ func coarsenCounted(g *dual.Graph, seed int64) (*dual.Graph, []int32, int64) {
 			cg.Centroid[c] = cg.Centroid[c].Scale(1 / cnt[c])
 		}
 	}
-	seen := make(map[[2]int32]bool)
+	// Coarse-edge dedup via sorted packed pairs instead of a per-level
+	// map: each undirected coarse edge appears once per endpoint in the
+	// scan; one sort-and-compact collapses the duplicates with no hashing
+	// and no per-level map reallocation.
+	pairs := make([]uint64, 0, 2*g.N)
 	for v := 0; v < g.N; v++ {
 		cv := cmap[v]
 		ops += 1 + int64(len(g.Adj[v]))
@@ -144,144 +159,21 @@ func coarsenCounted(g *dual.Graph, seed int64) (*dual.Graph, []int32, int64) {
 			if a > b {
 				a, b = b, a
 			}
-			key := [2]int32{a, b}
-			if !seen[key] {
-				seen[key] = true
-				cg.Adj[a] = append(cg.Adj[a], b)
-				cg.Adj[b] = append(cg.Adj[b], a)
-			}
+			pairs = append(pairs, uint64(uint32(a))<<32|uint64(uint32(b)))
 		}
+	}
+	slices.Sort(pairs)
+	pairs = slices.Compact(pairs)
+	ops += int64(len(pairs))*int64(log2ceil(len(pairs)+1)) + int64(len(pairs))
+	for _, pq := range pairs {
+		a, b := int32(pq>>32), int32(uint32(pq))
+		cg.Adj[a] = append(cg.Adj[a], b)
+		cg.Adj[b] = append(cg.Adj[b], a)
 	}
 	return cg, cmap, ops
 }
 
-// FMRefine performs Fiduccia–Mattheyses-style boundary refinement on a
-// k-way assignment in place: boundary vertices greedily move to adjacent
-// parts when the move reduces the edge cut without violating the balance
-// tolerance, or when it strictly improves balance at equal cut. passes
-// bounds the number of sweeps. It returns the abstract operation count of
-// the refinement (vertex visits plus adjacency scans) for machine-model
-// cost accounting.
-func FMRefine(g *dual.Graph, asg Assignment, k, passes int) int64 {
-	var ops int64
-	if k <= 1 {
-		return ops
-	}
-	w := Weights(g, asg, k)
-	var total int64
-	for _, x := range w {
-		total += x
-	}
-	avg := float64(total) / float64(k)
-	maxW := int64(avg * 1.03) // 3% balance tolerance
-	if maxW < 1 {
-		maxW = 1
-	}
-
-	// Part populations: a move must never empty its source part (a valid
-	// Assignment keeps every part non-empty).
-	cnt := make([]int, k)
-	for _, p := range asg {
-		cnt[p]++
-	}
-
-	conn := make([]int32, k) // scratch: edges from v into each part
-	for pass := 0; pass < passes; pass++ {
-		moved := 0
-		for v := 0; v < g.N; v++ {
-			ops += 1 + int64(len(g.Adj[v]))
-			a := asg[v]
-			if cnt[a] <= 1 {
-				continue
-			}
-			boundary := false
-			for _, u := range g.Adj[v] {
-				if asg[u] != a {
-					boundary = true
-				}
-			}
-			if !boundary {
-				continue
-			}
-			for i := range conn {
-				conn[i] = 0
-			}
-			for _, u := range g.Adj[v] {
-				conn[asg[u]]++
-			}
-			bestPart := a
-			bestGain := int32(0)
-			for _, u := range g.Adj[v] {
-				b := asg[u]
-				if b == a || b == bestPart {
-					continue
-				}
-				gain := conn[b] - conn[a]
-				fits := w[b]+g.Wcomp[v] <= maxW
-				better := gain > bestGain && fits
-				balances := gain == bestGain && bestPart == a && w[b]+g.Wcomp[v] < w[a]
-				if better || (balances && fits) {
-					bestPart = b
-					bestGain = gain
-				}
-			}
-			if bestPart != a {
-				asg[v] = bestPart
-				w[a] -= g.Wcomp[v]
-				w[bestPart] += g.Wcomp[v]
-				cnt[a]--
-				cnt[bestPart]++
-				moved++
-			}
-		}
-		if moved == 0 {
-			break
-		}
-	}
-
-	// Overflow pass: gain-driven moves alone cannot rescue a badly
-	// imbalanced input (all zero- and positive-gain moves may be
-	// exhausted), so force boundary vertices out of overloaded parts into
-	// their lightest neighbouring part, accepting cut damage. Repeat
-	// until every part fits or no boundary vertex can leave.
-	for iter := 0; iter < 2*k; iter++ {
-		over := -1
-		for p := 0; p < k; p++ {
-			if w[p] > maxW && (over < 0 || w[p] > w[over]) {
-				over = p
-			}
-		}
-		if over < 0 {
-			return ops
-		}
-		moved := false
-		for v := 0; v < g.N && w[over] > maxW; v++ {
-			ops++
-			if asg[v] != int32(over) || cnt[over] <= 1 {
-				continue
-			}
-			best := int32(-1)
-			for _, u := range g.Adj[v] {
-				b := asg[u]
-				if b == int32(over) {
-					continue
-				}
-				if best < 0 || w[b] < w[best] {
-					best = b
-				}
-			}
-			if best >= 0 && w[best]+g.Wcomp[v] <= maxW {
-				asg[v] = best
-				w[over] -= g.Wcomp[v]
-				w[best] += g.Wcomp[v]
-				cnt[over]--
-				cnt[best]++
-				moved = true
-			}
-		}
-		if !moved {
-			return ops
-		}
-	}
-	return ops
-}
+// Boundary refinement lives in internal/refine since the band-FM
+// extraction: the classic serial sweep is refine.FMRefine, and the
+// partitioners smooth their cuts through the Options.Refiner backend
+// (refine.BandFM by default).

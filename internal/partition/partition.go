@@ -22,6 +22,7 @@ import (
 
 	"plum/internal/dual"
 	"plum/internal/geom"
+	"plum/internal/refine"
 	"plum/internal/sfc"
 	"plum/internal/sparse"
 )
@@ -141,13 +142,30 @@ func MethodByName(name string) (Method, bool) {
 // Options configures a partitioning call.
 type Options struct {
 	// Workers bounds the worker-goroutine count of the parallel phases
-	// (SFC key generation, sample sort, chunked weighted cut). ≤ 0 means
-	// runtime.GOMAXPROCS. The graph backends are serial and ignore it.
-	// Assignments are identical at every worker count.
+	// (SFC key generation, sample sort, chunked weighted cut, boundary
+	// refinement). ≤ 0 means runtime.GOMAXPROCS. Assignments are
+	// identical at every worker count.
 	Workers int
 	// Seed drives randomized components (GraphGrow seeding, multilevel
 	// matching order). 0 is treated as 1, the historical default.
 	Seed int64
+	// Refiner is the boundary-refinement backend applied by the backends
+	// that smooth their cuts (GraphGrow, Multilevel, the SFC methods).
+	// nil selects each backend's own default: the deterministic
+	// band-limited parallel FM for the SFC pipeline and GraphGrow, the
+	// classic serial sweep for Multilevel (whose per-level graphs are
+	// small and serial). A non-nil value wins everywhere.
+	Refiner refine.Refiner
+}
+
+// refiner returns the configured refinement backend, defaulting to
+// BandFM at the options' worker knob (the default of every backend
+// except Multilevel — see multilevelCounted).
+func (o Options) refiner() refine.Refiner {
+	if o.Refiner != nil {
+		return o.Refiner
+	}
+	return refine.NewBandFM(o.Workers)
 }
 
 // Ops is the abstract work accounting of one partitioning call, charged
@@ -157,9 +175,14 @@ type Ops struct {
 	// side, and what a serial machine would pay.
 	Total int64
 	// Crit is the critical-path op count: the slowest worker's share plus
-	// the serial merge terms. Wall-clock time is Crit·AlgOp. Equals Total
-	// for the serial graph backends.
+	// the serial merge terms. Equals Total for fully serial work.
 	Crit int64
+	// MemTotal and MemCrit are the memory-bound (scatter-dominated) share
+	// of Total and Crit — today the boundary-refinement work — which the
+	// machine model charges at Model.MemOp; the compute-bound remainder
+	// (key encoding, sorting, eigen-solves) is charged at Model.CompOp.
+	MemTotal int64
+	MemCrit  int64
 }
 
 // Add accumulates o2 into o, serial ops contributing to both sides.
@@ -173,6 +196,15 @@ func (o *Ops) Add(o2 Ops) {
 func (o *Ops) AddSerial(n int64) {
 	o.Total += n
 	o.Crit += n
+}
+
+// AddMem accumulates memory-bound refinement work: it counts toward the
+// totals and toward the MemTotal/MemCrit share charged at Model.MemOp.
+func (o *Ops) AddMem(ro refine.Ops) {
+	o.Total += ro.Total
+	o.Crit += ro.Crit
+	o.MemTotal += ro.Total
+	o.MemCrit += ro.Crit
 }
 
 // Partition divides g into k parts with the chosen method. A valid
@@ -194,17 +226,17 @@ func PartitionCounted(g *dual.Graph, k int, m Method, opt Options) (Assignment, 
 	}
 	switch m {
 	case MethodGraphGrow:
-		return graphGrowCounted(g, k, opt.Seed)
+		return graphGrowCounted(g, k, opt)
 	case MethodInertial:
 		return inertialCounted(g, k)
 	case MethodSpectral:
 		return spectralCounted(g, k)
 	case MethodMortonSFC:
-		return sfcCounted(g, k, sfc.Morton, opt.Workers)
+		return sfcCounted(g, k, sfc.Morton, opt)
 	case MethodHilbertSFC:
-		return sfcCounted(g, k, sfc.Hilbert, opt.Workers)
+		return sfcCounted(g, k, sfc.Hilbert, opt)
 	default:
-		return multilevelCounted(g, k, opt.Seed)
+		return multilevelCounted(g, k, opt)
 	}
 }
 
@@ -214,14 +246,16 @@ func PartitionCounted(g *dual.Graph, k int, m Method, opt Options) (Assignment, 
 // result balanced by construction even at high k, where sequential growth
 // leaves the last parts only fragmented leftovers.
 func GraphGrow(g *dual.Graph, k int, seed int64) Assignment {
-	asg, _ := graphGrowCounted(g, k, seed)
+	asg, _ := graphGrowCounted(g, k, Options{Seed: seed})
 	return asg
 }
 
 // graphGrowCounted is GraphGrow with op accounting: one op per
-// lightest-part scan entry, per adjacency visit, and per FM-refinement
-// op. Growth is serial, so Total == Crit.
-func graphGrowCounted(g *dual.Graph, k int, seed int64) (Assignment, Ops) {
+// lightest-part scan entry, per adjacency visit, and per refinement op.
+// Growth is serial (Total == Crit); only the boundary-smoothing pass of
+// the configured refiner may parallelize.
+func graphGrowCounted(g *dual.Graph, k int, opt Options) (Assignment, Ops) {
+	seed := opt.Seed
 	var ops int64
 	asg := make(Assignment, g.N)
 	for i := range asg {
@@ -309,8 +343,9 @@ func graphGrowCounted(g *dual.Graph, k int, seed int64) (Assignment, Ops) {
 		}
 	}
 	// A refinement pass smooths the growth fronts.
-	ops += FMRefine(g, asg, k, 2)
-	return asg, Ops{Total: ops, Crit: ops}
+	out := Ops{Total: ops, Crit: ops}
+	out.AddMem(opt.refiner().Refine(g, asg, k, 2))
+	return asg, out
 }
 
 func argminW(w []int64) int {

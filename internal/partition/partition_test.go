@@ -7,6 +7,7 @@ import (
 	"plum/internal/dual"
 	"plum/internal/geom"
 	"plum/internal/meshgen"
+	"plum/internal/refine"
 	"plum/internal/sfc"
 )
 
@@ -115,7 +116,7 @@ func TestSFCIncrementalRepartition(t *testing.T) {
 		a.Refine()
 		g.UpdateWeights(m)
 		asg2 := s.Repartition(g, 8)
-		FMRefine(g, asg2, 8, 2)
+		refine.NewBandFM(0).Refine(g, asg2, 8, 2)
 		checkAssignment(t, g, asg2, 8, c.String()+"/adapted", 1.10)
 
 		scratch := SFC(g, 8, c)
@@ -177,21 +178,34 @@ func TestImbalancePerfect(t *testing.T) {
 	}
 }
 
-func TestFMRefineImprovesCut(t *testing.T) {
+// TestRefinersImproveCut pins the partition-facing contract of every
+// refinement backend on a mesh dual: starting from a deliberately bad
+// odd/even striping, the FM-family backends must reduce the cut, and
+// none may break balance. (The per-backend algorithmic contracts live in
+// internal/refine's own tests.)
+func TestRefinersImproveCut(t *testing.T) {
 	g := testGraph(t)
-	// Deliberately bad partition: odd/even striping.
-	asg := make(Assignment, g.N)
-	for i := range asg {
-		asg[i] = int32(i % 2)
-	}
-	before := EdgeCut(g, asg)
-	FMRefine(g, asg, 2, 8)
-	after := EdgeCut(g, asg)
-	if after >= before {
-		t.Errorf("FM did not improve cut: %d -> %d", before, after)
-	}
-	if imb := Imbalance(g, asg, 2); imb > 1.2 {
-		t.Errorf("FM broke balance: %.3f", imb)
+	for _, name := range refine.Names {
+		r, ok := refine.ByName(name, 0)
+		if !ok {
+			t.Fatalf("refiner %q missing", name)
+		}
+		asg := make(Assignment, g.N)
+		for i := range asg {
+			asg[i] = int32(i % 2)
+		}
+		before := EdgeCut(g, asg)
+		ops := r.Refine(g, asg, 2, 8)
+		after := EdgeCut(g, asg)
+		if name != "diffusion" && after >= before {
+			t.Errorf("%s did not improve cut: %d -> %d", name, before, after)
+		}
+		if imb := Imbalance(g, asg, 2); imb > 1.2 {
+			t.Errorf("%s broke balance: %.3f", name, imb)
+		}
+		if ops.Total <= 0 || ops.Crit <= 0 || ops.Crit > ops.Total {
+			t.Errorf("%s: bad op accounting %+v", name, ops)
+		}
 	}
 }
 
@@ -342,6 +356,18 @@ func TestPartitionCountedReportsWork(t *testing.T) {
 		}
 		if ops.Total < int64(g.N) {
 			t.Errorf("%v: total ops %d below one visit per vertex (n=%d)", m, ops.Total, g.N)
+		}
+		if ops.MemTotal > ops.Total || ops.MemCrit > ops.Crit || ops.MemTotal < 0 || ops.MemCrit < 0 {
+			t.Errorf("%v: memory-bound share out of range: %+v", m, ops)
+		}
+		// The backends that smooth their cut must report the refinement
+		// work in the Mem share; the pure bisection backends carry none.
+		refines := m != MethodInertial && m != MethodSpectral
+		if refines && (ops.MemTotal <= 0 || ops.MemCrit <= 0) {
+			t.Errorf("%v: refinement work missing from the Mem share: %+v", m, ops)
+		}
+		if !refines && ops.MemTotal != 0 {
+			t.Errorf("%v: unexpected Mem share %+v for a refinement-free backend", m, ops)
 		}
 		plain := Partition(g, 4, m)
 		for v := range asg {

@@ -309,26 +309,25 @@ func repairBounds(bounds []int, k, n int) {
 }
 
 // SFC is the one-shot entry point used by Partition: build the curve
-// order, cut it, and smooth the chunk boundaries with the existing
-// Fiduccia–Mattheyses machinery (curve cuts are jagged at the element
-// scale; one cheap FM pass recovers most of the cut quality).
+// order, cut it, and smooth the chunk boundaries with the default
+// refinement backend (curve cuts are jagged at the element scale; one
+// cheap boundary pass recovers most of the cut quality).
 func SFC(g *dual.Graph, k int, c sfc.Curve) Assignment {
-	asg, _ := sfcCounted(g, k, c, 0)
+	asg, _ := sfcCounted(g, k, c, Options{})
 	return asg
 }
 
 // sfcCounted runs the full SFC pipeline and reports its total and
-// critical-path op counts (sort + incremental cut + FM smoothing; the FM
-// pass is serial, so it contributes equally to both).
-func sfcCounted(g *dual.Graph, k int, c sfc.Curve, workers int) (Assignment, Ops) {
-	s := NewSFCWorkers(g, c, workers)
+// critical-path op counts: sort + incremental cut (compute-bound) plus
+// the configured refiner's smoothing pass (memory-bound, tracked in the
+// Mem share).
+func sfcCounted(g *dual.Graph, k int, c sfc.Curve, opt Options) (Assignment, Ops) {
+	s := NewSFCWorkers(g, c, opt.Workers)
 	ops := Ops{Total: s.LastOps, Crit: s.LastCritOps}
 	asg := s.Repartition(g, k)
 	ops.Total += s.LastOps
 	ops.Crit += s.LastCritOps
-	fm := FMRefine(g, asg, k, 2)
-	ops.Total += fm
-	ops.Crit += fm
+	ops.AddMem(opt.refiner().Refine(g, asg, k, 2))
 	return asg, ops
 }
 

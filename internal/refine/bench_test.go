@@ -1,0 +1,70 @@
+package refine
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+)
+
+// benchWorkers returns the serial baseline and the machine's full
+// parallelism (when they differ) — the comparison the refine pipeline's
+// speedup claim rides on.
+func benchWorkers() []int {
+	if p := runtime.GOMAXPROCS(0); p > 1 {
+		return []int{1, p}
+	}
+	return []int{1}
+}
+
+// BenchmarkBandFM measures the band-limited FM on a band-heavy lattice
+// (block partition of a 32×32×24 grid), serial replay versus the worker
+// pool. Output is identical at every worker count.
+func BenchmarkBandFM(b *testing.B) {
+	g := gridGraph(32, 32, 24, 11) // 24576 vertices: well past SerialCutoff
+	init := blockAssignment(g.N, 16)
+	buf := make([]int32, g.N)
+	for _, w := range benchWorkers() {
+		r := NewBandFM(w)
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				copy(buf, init)
+				if ops := r.Refine(g, buf, 16, 2); ops.Total <= 0 {
+					b.Fatal("no work reported")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkDiffusion measures the weighted-diffusion refiner on the same
+// fixture.
+func BenchmarkDiffusion(b *testing.B) {
+	g := gridGraph(32, 32, 24, 11)
+	init := blockAssignment(g.N, 16)
+	buf := make([]int32, g.N)
+	for _, w := range benchWorkers() {
+		r := NewDiffusion(w)
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				copy(buf, init)
+				if ops := r.Refine(g, buf, 16, 2); ops.Total <= 0 {
+					b.Fatal("no work reported")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFMSerial is the classic serial sweep on the same fixture —
+// the baseline the band extraction exists to beat.
+func BenchmarkFMSerial(b *testing.B) {
+	g := gridGraph(32, 32, 24, 11)
+	init := blockAssignment(g.N, 16)
+	buf := make([]int32, g.N)
+	for i := 0; i < b.N; i++ {
+		copy(buf, init)
+		if ops := FMRefine(g, buf, 16, 2); ops <= 0 {
+			b.Fatal("no work reported")
+		}
+	}
+}
