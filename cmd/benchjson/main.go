@@ -1,9 +1,9 @@
-// Command benchjson measures the parallel partitioning and refinement
-// pipelines and writes the results as machine-readable JSON, so
-// successive PRs can track the perf trajectory without parsing
+// Command benchjson measures the parallel partitioning, refinement, and
+// remap-execution pipelines and writes the results as machine-readable
+// JSON, so successive PRs can track the perf trajectory without parsing
 // `go test -bench` text.
 //
-//	go run ./cmd/benchjson                  # writes BENCH_sfc.json + BENCH_refine.json
+//	go run ./cmd/benchjson                  # writes BENCH_sfc.json + BENCH_refine.json + BENCH_remap.json
 //	go run ./cmd/benchjson -out - -k 32     # SFC JSON to stdout, k=32 cuts
 //
 // Every exhibit is run at workers=1 (the serial baseline) and, when the
@@ -25,6 +25,9 @@ import (
 	"plum/internal/adapt"
 	"plum/internal/dual"
 	"plum/internal/experiments"
+	"plum/internal/machine"
+	"plum/internal/mesh"
+	"plum/internal/par"
 	"plum/internal/partition"
 	"plum/internal/psort"
 	"plum/internal/refine"
@@ -107,6 +110,7 @@ func main() {
 	log.SetPrefix("benchjson: ")
 	out := flag.String("out", "BENCH_sfc.json", "SFC pipeline output path ('-' for stdout)")
 	refineOut := flag.String("refineout", "BENCH_refine.json", "refinement output path ('-' for stdout, '' to skip)")
+	remapOut := flag.String("remapout", "BENCH_remap.json", "remap execution output path ('-' for stdout, '' to skip)")
 	k := flag.Int("k", 16, "partition count for the cut and refinement benches")
 	flag.Parse()
 
@@ -176,7 +180,7 @@ func main() {
 	}, workerCounts)
 	write(&sfcRep, *out)
 
-	if *refineOut == "" {
+	if *refineOut == "" && *remapOut == "" {
 		return
 	}
 
@@ -186,6 +190,10 @@ func main() {
 	// mutate only the copy.
 	raw := incr[1].Repartition(g, *k)
 	buf := make([]int32, len(raw))
+	if *refineOut == "" {
+		runRemap(newReport, m, raw, *k, workerCounts, *remapOut)
+		return
+	}
 	refineRep := newReport()
 	measure(&refineRep, []exhibit{
 		{"BandFM", func(w int, b *testing.B) {
@@ -219,4 +227,54 @@ func main() {
 		}},
 	}, workerCounts)
 	write(&refineRep, *refineOut)
+
+	if *remapOut != "" {
+		runRemap(newReport, m, raw, *k, workerCounts, *remapOut)
+	}
+}
+
+// runRemap measures the remap-execution subsystem: the full ExecuteRemap
+// (CSR flow scatter + real payload exchange + canonical model accounting)
+// against a half-rotated ownership, plus the chunked Init and RankLoads
+// scans. The payload buffer and stats are identical at every worker
+// count, so the speedup fields compare pure wall time.
+func runRemap(newReport func() Report, m *mesh.Mesh, raw partition.Assignment, k int, workerCounts []int, path string) {
+	mdl := machine.SP2()
+	d := par.NewDist(m, k, raw)
+	orig := d.Owners()
+	newOwner := append([]int32(nil), orig...)
+	for v := range newOwner {
+		if v%2 == 0 {
+			newOwner[v] = (newOwner[v] + 1) % int32(k)
+		}
+	}
+	rep := newReport()
+	measure(&rep, []exhibit{
+		{"ExecuteRemap", func(w int, b *testing.B) {
+			d.Workers = w
+			for i := 0; i < b.N; i++ {
+				d.SetOwners(orig)
+				if _, err := d.ExecuteRemap(newOwner, mdl); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"InitScan", func(w int, b *testing.B) {
+			d.Workers = w
+			for i := 0; i < b.N; i++ {
+				if st := d.Init(); st.LocalElems[0] == 0 {
+					b.Fatal("empty rank 0")
+				}
+			}
+		}},
+		{"RankLoads", func(w int, b *testing.B) {
+			d.Workers = w
+			for i := 0; i < b.N; i++ {
+				if loads := d.RankLoads(); len(loads) != k {
+					b.Fatal("bad loads")
+				}
+			}
+		}},
+	}, workerCounts)
+	write(&rep, path)
 }

@@ -19,7 +19,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: table1, fig8, fig9, fig10, fig11, fig12, extension, partitioners, all")
+	exp := flag.String("exp", "all", "experiment to run: table1, fig8, fig9, fig10, fig11, fig12, extension, partitioners, remap, all")
 	k := flag.Int("k", 16, "partition count for -exp partitioners")
 	workers := flag.Int("workers", 0, "worker goroutines for parallel partitioning and refinement phases (0 = GOMAXPROCS)")
 	refiner := flag.String("refiner", "", "boundary-refinement backend for -exp partitioners: "+strings.Join(refine.Names, ", ")+" ('' = per-backend default)")
@@ -45,6 +45,7 @@ func main() {
 		{"fig12", func() fmt.Stringer { return experiments.RunFig12() }},
 		{"extension", func() fmt.Stringer { return experiments.RunExtensionRepeated(8, 6) }},
 		{"partitioners", func() fmt.Stringer { return experiments.RunPartitionerTable(*k, *workers, *refiner) }},
+		{"remap", func() fmt.Stringer { return experiments.RunRemapExecTable(*workers) }},
 	}
 
 	ran := false

@@ -37,7 +37,7 @@ func main() {
 		thresh  = flag.Float64("threshold", 1.2, "imbalance threshold Wmax/Wavg for repartitioning")
 		mapper  = flag.String("mapper", "heuristic", "processor reassignment: heuristic, optimal")
 		parter  = flag.String("partitioner", "multilevel", "repartitioner: graphgrow, inertial, spectral, multilevel, morton, hilbert")
-		refiner = flag.String("refiner", "", "boundary-refinement backend: bandfm, diffusion, fm (default: band-FM for the SFC path, classic FM inside multilevel)")
+		refiner = flag.String("refiner", "", "boundary-refinement backend: bandfm, diffusion, fm (default: adaptive — band-FM when the effective worker count exceeds 1, classic FM on serial hosts and inside multilevel)")
 		seed    = flag.Int64("seed", 1, "random seed")
 		workers = flag.Int("workers", 0, "worker goroutines for parallel partitioning and refinement phases (0 = GOMAXPROCS)")
 		scale   = flag.Float64("scale", 1.0, "mesh scale factor (1.0 = paper's 61k elements)")
@@ -143,6 +143,11 @@ func main() {
 					b.RepartitionOps, b.RepartitionCritOps, b.RefineOps, b.RefineCritOps,
 					b.RepartitionCompTime, b.RepartitionMemTime,
 					b.ReassignOps, b.ReassignTime)
+				fmt.Printf("         remap ops=%d crit=%d execT=%.3gs", b.RemapOps, b.RemapCritOps, b.RemapExecTime)
+				if b.Accepted {
+					fmt.Printf(" pack=%.3gs comm=%.3gs rebuild=%.3gs", b.Remap.PackTime, b.Remap.CommTime, b.Remap.RebuildTime)
+				}
+				fmt.Println()
 			}
 		}
 	}

@@ -119,13 +119,18 @@ type Framework struct {
 }
 
 // refiner resolves the boundary-refinement backend for the SFC hot path
-// at the framework's worker knob ("" resolves to the band-FM default);
-// New validated the name, so the fallback is purely defensive.
+// at the framework's worker knob. "" resolves adaptively via
+// refine.Default: band-FM when the dual graph and worker knob would
+// actually run it parallel, the classic serial sweep otherwise (serial
+// hosts don't pay the ~2× band overhead). New validated the name, so the
+// fallback is purely defensive.
 func (f *Framework) refiner() refine.Refiner {
-	if r, ok := refine.ByName(f.Cfg.Refiner, f.Cfg.Workers); ok {
-		return r
+	if f.Cfg.Refiner != "" {
+		if r, ok := refine.ByName(f.Cfg.Refiner, f.Cfg.Workers); ok {
+			return r
+		}
 	}
-	return refine.NewBandFM(f.Cfg.Workers)
+	return refine.Default(f.G.N, f.Cfg.Workers)
 }
 
 // optRefiner returns the refiner forced on every partitioning backend,
@@ -197,11 +202,13 @@ func New(m *mesh.Mesh, sol *solver.Solver, cfg Config) (*Framework, error) {
 	}
 	g := dual.Build(m)
 	asg := partitionMaybeAgglomerated(g, cfg)
+	d := par.NewDist(m, cfg.P, asg)
+	d.Workers = cfg.Workers // the remap scatter and SPL scans share the knob
 	return &Framework{
 		Cfg: cfg,
 		M:   m,
 		G:   g,
-		D:   par.NewDist(m, cfg.P, asg),
+		D:   d,
 		A:   adapt.New(m),
 		S:   sol,
 	}, nil
@@ -286,6 +293,19 @@ type BalanceReport struct {
 	// (similarity-matrix scans: memory-bound, charged at Model.MemOp).
 	ReassignOps  int64
 	ReassignTime float64
+	// RemapOps and RemapCritOps describe the remap execution's scatter,
+	// pack, and unpack work (par.PredictRemapOps of the mapping's C and
+	// N): total ops over all workers and the critical-path share at the
+	// framework's worker knob. They are computed before the gain/cost
+	// decision — an executed remap reports the identical figures in
+	// Remap.Ops — so RemapExecTime sits on the acceptance rule's cost
+	// side next to the repartition and reassignment overheads.
+	RemapOps     int64
+	RemapCritOps int64
+	// RemapExecTime is RemapOps' modeled wall clock: the mem-bound
+	// critical path at Model.MemOp, the compute-bound remainder at
+	// Model.CompOp.
+	RemapExecTime float64
 	// Gain and Cost are the two sides of the acceptance test; Accepted
 	// reports whether the remap was executed.
 	Gain, Cost float64
@@ -345,12 +365,21 @@ func (f *Framework) Balance() (BalanceReport, error) {
 	rep.ImbalanceAfter = par.ImbalanceFactor(newLoads)
 
 	// Gain/cost decision. The cost side carries the measured balancing
-	// overhead (repartition + reassignment time) on top of the paper's
-	// redistribution terms — negligible for the incremental SFC path,
-	// which is the point of modeling it.
+	// overhead (repartition + reassignment + remap-execution time) on top
+	// of the paper's redistribution terms — negligible for the
+	// incremental SFC path, which is the point of modeling it. The remap
+	// execution's scatter work is predicted from the mapping's C and N
+	// (exactly the quantities ExecuteRemap will report), so the decision
+	// can weigh it without running the remap; RedistCost models the wire
+	// volume, RemapExecTime the CPU-side plan/pack/unpack ops.
 	rep.MoveC, rep.MoveN = sim.MoveStats(mp)
+	remapOps := par.PredictRemapOps(len(f.M.Elems), rep.MoveC, rep.MoveN, f.Cfg.P, f.Cfg.Workers)
+	rep.RemapOps = remapOps.Total
+	rep.RemapCritOps = remapOps.Crit
+	rep.RemapExecTime = remapOps.Time(f.Cfg.Model)
 	rep.Gain = f.Cfg.Cost.Gain(rep.WmaxOld, rep.WmaxNew)
-	rep.Cost = f.Cfg.Cost.RedistCost(rep.MoveC, rep.MoveN) + rep.RepartitionTime + rep.ReassignTime
+	rep.Cost = f.Cfg.Cost.RedistCost(rep.MoveC, rep.MoveN) +
+		rep.RepartitionTime + rep.ReassignTime + rep.RemapExecTime
 	// This comparison is remap.CostModel.WorthwhileTotal applied to the
 	// reported quantities, so the report can never drift from the decision.
 	if rep.Gain <= rep.Cost {

@@ -253,12 +253,30 @@ func TestBalanceChargesEveryPartitioner(t *testing.T) {
 		if rep.RepartitionTime <= 0 {
 			t.Errorf("%v: repartition time not charged", meth)
 		}
-		// The acceptance rule must see the repartitioning overhead: the
-		// reported cost is redistribution + repartition + reassignment.
-		wantCost := f.Cfg.Cost.RedistCost(rep.MoveC, rep.MoveN) + rep.RepartitionTime + rep.ReassignTime
+		// The remap execution's scatter work is predicted before the
+		// decision and sits on the cost side too.
+		if rep.RemapOps <= 0 || rep.RemapCritOps <= 0 || rep.RemapCritOps > rep.RemapOps {
+			t.Errorf("%v: bad remap ops %d/%d", meth, rep.RemapOps, rep.RemapCritOps)
+		}
+		if rep.RemapExecTime <= 0 {
+			t.Errorf("%v: remap execution time not charged", meth)
+		}
+		// The acceptance rule must see the whole balancing overhead: the
+		// reported cost is redistribution + repartition + reassignment +
+		// remap execution.
+		wantCost := f.Cfg.Cost.RedistCost(rep.MoveC, rep.MoveN) +
+			rep.RepartitionTime + rep.ReassignTime + rep.RemapExecTime
 		if math.Abs(rep.Cost-wantCost) > 1e-12 {
 			t.Errorf("%v: cost %.6g does not include the balancing overhead (want %.6g)",
 				meth, rep.Cost, wantCost)
+		}
+		// The pre-decision prediction must be exactly what the executed
+		// remap reports (MoveStats' C and N are ExecuteRemap's Moved and
+		// Sets).
+		if rep.Accepted &&
+			(rep.Remap.Ops.Total != rep.RemapOps || rep.Remap.Ops.Crit != rep.RemapCritOps) {
+			t.Errorf("%v: executed remap ops %d/%d differ from predicted %d/%d",
+				meth, rep.Remap.Ops.Total, rep.Remap.Ops.Crit, rep.RemapOps, rep.RemapCritOps)
 		}
 	}
 }
@@ -330,13 +348,18 @@ func TestRefinerKnob(t *testing.T) {
 
 // TestBalanceWorkerCountInvariance runs the full SFC pipeline at several
 // worker counts and demands identical ownership — the framework-level
-// restatement of the psort determinism guarantee.
+// restatement of the psort determinism guarantee. The refiner is forced
+// by name: the adaptive default (refine.Default) intentionally switches
+// between band-FM and classic FM as the effective worker count crosses
+// 1, so only a named backend carries the cross-worker-count invariance
+// this test asserts.
 func TestBalanceWorkerCountInvariance(t *testing.T) {
 	var ref []int32
 	for _, workers := range []int{1, 2, 5} {
 		f := newFW(t, 8)
 		f.Cfg.Method = partition.MethodHilbertSFC
 		f.Cfg.Workers = workers
+		f.Cfg.Refiner = "bandfm"
 		f.A.MarkRegion(geom.Sphere{Center: geom.Vec3{}, Radius: 0.6}, adapt.MarkRefine)
 		f.A.Refine()
 		f.A.MarkRegion(geom.Sphere{Center: geom.Vec3{}, Radius: 0.4}, adapt.MarkRefine)

@@ -258,6 +258,39 @@ func TestPartitionerTableClaims(t *testing.T) {
 	}
 }
 
+func TestRemapExecTableClaims(t *testing.T) {
+	if testing.Short() {
+		t.Skip("paper-scale remap anatomy")
+	}
+	tb := RunRemapExecTable(0)
+	if len(tb.Rows) < 3 {
+		t.Fatalf("table has %d rows", len(tb.Rows))
+	}
+	for _, r := range tb.Rows {
+		if r.Moved <= 0 || r.Sets <= 0 || r.WordsMoved < r.Moved*50 {
+			t.Errorf("P=%d: degenerate remap %+v", r.P, r)
+		}
+		if r.Ops.Total <= 0 || r.Ops.Crit <= 0 || r.Ops.Crit > r.Ops.Total {
+			t.Errorf("P=%d: bad ops accounting %+v", r.P, r.Ops)
+		}
+		if r.Total <= 0 || r.Total < r.PackTime {
+			t.Errorf("P=%d: inconsistent modeled times %+v", r.P, r)
+		}
+		if r.HostSeconds <= 0 {
+			t.Errorf("P=%d: no host timing", r.P)
+		}
+	}
+	// More processors split the same movement into more, smaller sets.
+	first, last := tb.Rows[0], tb.Rows[len(tb.Rows)-1]
+	if last.Sets <= first.Sets {
+		t.Errorf("sets did not grow with P: %d@P=%d vs %d@P=%d",
+			first.Sets, first.P, last.Sets, last.P)
+	}
+	if !strings.Contains(tb.String(), "anatomy") {
+		t.Error("table rendering broken")
+	}
+}
+
 func TestBaseMeshIsolated(t *testing.T) {
 	// Clones must be independent: adapting one clone must not leak into
 	// the next.

@@ -47,8 +47,9 @@ type PartitionerTable struct {
 // mesh, partitioning into k parts (k < 1 is treated as 1) with the given
 // worker knob for the parallel SFC and refinement phases (≤ 0 =
 // GOMAXPROCS). A named refinement backend is forced on every
-// partitioner; "" leaves each backend its own default (band-FM for the
-// SFC pipeline and GraphGrow, classic FM inside Multilevel).
+// partitioner; "" leaves each backend its own default (refine.Default —
+// band-FM when the graph and knob would run it parallel, classic FM
+// otherwise and always inside Multilevel).
 func RunPartitionerTable(k, workers int, refiner string) *PartitionerTable {
 	if k < 1 {
 		k = 1
@@ -61,8 +62,8 @@ func RunPartitionerTable(k, workers int, refiner string) *PartitionerTable {
 	g.UpdateWeights(m)
 
 	// "" leaves every backend its own default refiner; a concrete name is
-	// forced on all of them. The incremental exhibit always refines with
-	// the SFC path's default (band-FM) unless a name was forced.
+	// forced on all of them. The incremental exhibit refines with the SFC
+	// path's adaptive default unless a name was forced.
 	var forced refine.Refiner
 	label := "auto"
 	if refiner != "" {
@@ -73,7 +74,7 @@ func RunPartitionerTable(k, workers int, refiner string) *PartitionerTable {
 	}
 	incR := forced
 	if incR == nil {
-		incR = refine.NewBandFM(workers)
+		incR = refine.Default(g.N, workers)
 	}
 	opt := partition.Options{Workers: workers, Refiner: forced}
 	out := &PartitionerTable{K: k, Refiner: label}

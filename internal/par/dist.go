@@ -21,6 +21,7 @@ import (
 
 	"plum/internal/mesh"
 	"plum/internal/partition"
+	"plum/internal/psort"
 )
 
 // Dist is a distributed view: a mesh plus processor ownership of each
@@ -28,6 +29,14 @@ import (
 type Dist struct {
 	M *mesh.Mesh
 	P int
+
+	// Workers bounds the worker-goroutine count of the chunked O(mesh)
+	// scans — the remap execution's CSR flow scatter, the Init
+	// shared-object analysis, and RankLoads. ≤ 0 means
+	// runtime.GOMAXPROCS; below SerialCutoff objects every scan falls
+	// back to a serial loop regardless. Results are identical at every
+	// worker count.
+	Workers int
 
 	// owner[i] is the processor owning dual vertex i (level-0 element
 	// tree i, in dual.Build scan order).
@@ -97,7 +106,7 @@ func (d *Dist) DualOf(el mesh.ElemID) int32 {
 func (d *Dist) OwnerOf(el mesh.ElemID) int32 { return d.owner[d.DualOf(el)] }
 
 // ApplyCompact updates the root index after a mesh compaction.
-func (d *Dist) ApplyCompact(cm mesh.CompactMap) { d.rebuildRootIndex() }
+func (d *Dist) ApplyCompact() { d.rebuildRootIndex() }
 
 // EdgeSPL returns the sorted shared-processor list of edge e: the owners
 // of all active elements sharing it. A len > 1 list marks a shared edge.
@@ -151,48 +160,86 @@ type InitStats struct {
 
 // Init performs the initialization-phase analysis: distributing the mesh
 // according to ownership, identifying shared edges and vertices, and
-// sizing the per-rank local subgrids.
+// sizing the per-rank local subgrids. The edge, vertex, and element scans
+// are chunked over Workers goroutines (serial below SerialCutoff objects);
+// the per-chunk partial counts merge in chunk order, and every count is an
+// integer sum, so the stats are identical at every worker count.
 func (d *Dist) Init() InitStats {
 	st := InitStats{
 		LocalEdges: make([]int64, d.P),
 		LocalElems: make([]int64, d.P),
 	}
-	var buf []int32
-	for ei := range d.M.Edges {
-		ed := &d.M.Edges[ei]
-		if ed.Dead || ed.Bisected() || len(ed.Elems) == 0 {
-			continue
+
+	// Edge scan: per-rank local copies and the shared-edge census. Each
+	// chunk probes SPLs into its own scratch buffer.
+	ne := len(d.M.Edges)
+	ncE := psort.NumChunks(ne, EffectiveWorkers(ne, d.Workers))
+	edgeLocal := make([][]int64, ncE)
+	edgeShared := make([]int, ncE)
+	psort.ForChunks(ne, EffectiveWorkers(ne, d.Workers), func(c, lo, hi int) {
+		loc := make([]int64, d.P)
+		shared := 0
+		var buf []int32
+		for ei := lo; ei < hi; ei++ {
+			ed := &d.M.Edges[ei]
+			if ed.Dead || ed.Bisected() || len(ed.Elems) == 0 {
+				continue
+			}
+			spl := d.EdgeSPL(mesh.EdgeID(ei), buf)
+			buf = spl
+			for _, r := range spl {
+				loc[r]++
+			}
+			if len(spl) > 1 {
+				shared++
+			}
 		}
-		spl := d.EdgeSPL(mesh.EdgeID(ei), buf)
-		buf = spl
-		for _, r := range spl {
-			st.LocalEdges[r]++
+		edgeLocal[c] = loc
+		edgeShared[c] = shared
+	})
+	for c := 0; c < ncE; c++ {
+		for r, n := range edgeLocal[c] {
+			st.LocalEdges[r] += n
 		}
-		if len(spl) > 1 {
-			st.SharedEdges++
-		}
+		st.SharedEdges += edgeShared[c]
 	}
-	sharedV := 0
+
+	// Vertex scan: the shared-vertex census.
+	nv := len(d.M.Verts)
+	ncV := psort.NumChunks(nv, EffectiveWorkers(nv, d.Workers))
+	vertShared := make([]int, ncV)
+	vertTotal := make([]int, ncV)
+	psort.ForChunks(nv, EffectiveWorkers(nv, d.Workers), func(c, lo, hi int) {
+		shared, total := 0, 0
+		var buf []int32
+		for vi := lo; vi < hi; vi++ {
+			v := &d.M.Verts[vi]
+			if v.Dead || len(v.Edges) == 0 {
+				continue
+			}
+			total++
+			spl := d.VertSPL(mesh.VertID(vi), buf)
+			buf = spl
+			if len(spl) > 1 {
+				shared++
+			}
+		}
+		vertShared[c] = shared
+		vertTotal[c] = total
+	})
 	totalV := 0
-	for vi := range d.M.Verts {
-		v := &d.M.Verts[vi]
-		if v.Dead || len(v.Edges) == 0 {
-			continue
-		}
-		totalV++
-		spl := d.VertSPL(mesh.VertID(vi), buf)
-		buf = spl
-		if len(spl) > 1 {
-			sharedV++
+	for c := 0; c < ncV; c++ {
+		st.SharedVerts += vertShared[c]
+		totalV += vertTotal[c]
+	}
+
+	// Element scan: per-rank local subgrid sizes.
+	for _, loc := range d.localLoads() {
+		for r, n := range loc {
+			st.LocalElems[r] += n
 		}
 	}
-	st.SharedVerts = sharedV
-	for i := range d.M.Elems {
-		t := &d.M.Elems[i]
-		if t.Active() {
-			st.LocalElems[d.OwnerOf(mesh.ElemID(i))]++
-		}
-	}
+
 	totalE := d.M.NumActiveEdges()
 	if totalE+totalV > 0 {
 		st.SharedFraction = float64(st.SharedEdges+st.SharedVerts) / float64(totalE+totalV)
@@ -200,13 +247,33 @@ func (d *Dist) Init() InitStats {
 	return st
 }
 
+// localLoads runs the chunked active-element ownership scan, returning
+// one per-rank partial count per chunk (merge in chunk order).
+func (d *Dist) localLoads() [][]int64 {
+	n := len(d.M.Elems)
+	ew := EffectiveWorkers(n, d.Workers)
+	parts := make([][]int64, psort.NumChunks(n, ew))
+	psort.ForChunks(n, ew, func(c, lo, hi int) {
+		loc := make([]int64, d.P)
+		for i := lo; i < hi; i++ {
+			if d.M.Elems[i].Active() {
+				loc[d.OwnerOf(mesh.ElemID(i))]++
+			}
+		}
+		parts[c] = loc
+	})
+	return parts
+}
+
 // RankLoads returns the active-element count per processor — the Wcomp
-// load the preliminary-evaluation step balances.
+// load the preliminary-evaluation step balances. The scan is chunked over
+// Workers goroutines; integer partial sums merge in chunk order, so the
+// result is identical at every worker count.
 func (d *Dist) RankLoads() []int64 {
 	loads := make([]int64, d.P)
-	for i := range d.M.Elems {
-		if d.M.Elems[i].Active() {
-			loads[d.OwnerOf(mesh.ElemID(i))]++
+	for _, loc := range d.localLoads() {
+		for r, n := range loc {
+			loads[r] += n
 		}
 	}
 	return loads

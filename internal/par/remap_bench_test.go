@@ -1,0 +1,92 @@
+package par
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+
+	"plum/internal/dual"
+	"plum/internal/geom"
+	"plum/internal/machine"
+	"plum/internal/meshgen"
+	"plum/internal/partition"
+)
+
+// remapBenchFixture distributes a parallel-scale box mesh over p ranks
+// and returns the rotated ownership the benches execute against.
+func remapBenchFixture(p int) (*Dist, []int32, []int32) {
+	m := meshgen.Box(16, 16, 16, geom.Vec3{X: 1, Y: 1, Z: 1}) // 24576 elements
+	g := dual.Build(m)
+	d := NewDist(m, p, partition.Partition(g, p, partition.MethodInertial))
+	orig := d.Owners()
+	newOwner := append([]int32(nil), orig...)
+	for v := range newOwner {
+		if v%2 == 0 {
+			newOwner[v] = (newOwner[v] + 1) % int32(p)
+		}
+	}
+	return d, orig, newOwner
+}
+
+// benchRemapWorkers mirrors the root bench_test.go convention: the serial
+// baseline and the machine's full parallelism, when they differ.
+func benchRemapWorkers() []int {
+	if p := runtime.GOMAXPROCS(0); p > 1 {
+		return []int{1, p}
+	}
+	return []int{1}
+}
+
+// BenchmarkExecuteRemap is the acceptance benchmark of the parallel remap
+// execution: the CSR flow scatter, the real payload exchange, and the
+// canonical-order model accounting, workers=1 versus GOMAXPROCS. The
+// payload buffer and result are identical at every worker count; only the
+// wall time may differ.
+func BenchmarkExecuteRemap(b *testing.B) {
+	mdl := machine.SP2()
+	for _, bw := range benchRemapWorkers() {
+		d, orig, newOwner := remapBenchFixture(8)
+		d.Workers = bw
+		b.Run(fmt.Sprintf("workers=%d", bw), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				d.SetOwners(orig)
+				if _, err := d.ExecuteRemap(newOwner, mdl); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkInitScan measures the chunked shared-object analysis (edge and
+// vertex SPL probes plus the local-subgrid census), serial versus the
+// worker pool.
+func BenchmarkInitScan(b *testing.B) {
+	for _, bw := range benchRemapWorkers() {
+		d, _, _ := remapBenchFixture(8)
+		d.Workers = bw
+		b.Run(fmt.Sprintf("workers=%d", bw), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if st := d.Init(); st.SharedEdges == 0 {
+					b.Fatal("no shared edges")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkRankLoads measures the chunked ownership census the
+// preliminary-evaluation step runs every cycle.
+func BenchmarkRankLoads(b *testing.B) {
+	for _, bw := range benchRemapWorkers() {
+		d, _, _ := remapBenchFixture(8)
+		d.Workers = bw
+		b.Run(fmt.Sprintf("workers=%d", bw), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if loads := d.RankLoads(); len(loads) != 8 {
+					b.Fatal("bad loads")
+				}
+			}
+		})
+	}
+}

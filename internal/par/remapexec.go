@@ -5,6 +5,7 @@ import (
 
 	"plum/internal/comm"
 	"plum/internal/machine"
+	"plum/internal/psort"
 )
 
 // RemapResult reports one executed data remapping.
@@ -22,6 +23,12 @@ type RemapResult struct {
 	// PackTime, CommTime, RebuildTime decompose the modeled remapping
 	// overhead; Total is the slowest-rank end-to-end time.
 	PackTime, CommTime, RebuildTime, Total float64
+	// Ops is the abstract work accounting of the scatter, pack, and
+	// unpack phases, equal to PredictRemapOps of the executed quantities:
+	// Total is worker-invariant, Crit the critical-path share at the
+	// effective worker count actually used (Crit == Total on the serial
+	// fallback below SerialCutoff elements).
+	Ops Ops
 }
 
 // ExecuteRemap migrates element trees whose dual vertices change owner
@@ -29,6 +36,13 @@ type RemapResult struct {
 // goroutine ranks over the comm runtime and verified for conservation; the
 // machine model charges pack, transfer, and rebuild costs. On return the
 // ownership map is updated.
+//
+// The payload collection is the CSR flow scatter of collectFlows, run at
+// the Dist's worker knob: flows are laid out in canonical (src, dst)
+// order and elements in slab order within a flow, so the record buffer,
+// the modeled times (float summation order is fixed by the layout, not by
+// map iteration), and the whole RemapResult except Ops.Crit/MemCrit are
+// byte-identical at every worker count.
 //
 // Following the paper's experimental methodology, the data-structure
 // rebuild is charged to the model (RebuildElem per received element)
@@ -40,51 +54,26 @@ func (d *Dist) ExecuteRemap(newOwner []int32, mdl machine.Model) (RemapResult, e
 		return RemapResult{}, fmt.Errorf("par: newOwner has %d entries, want %d", len(newOwner), len(d.owner))
 	}
 	m := d.M
-
-	// Collect per-(src,dst) real payloads: one record of
-	// (dualVertex, v0..v3, level) per migrating element.
-	type flow struct{ src, dst int32 }
-	payload := make(map[flow][]int64)
-	var moved int64
-	for i := range m.Elems {
-		t := &m.Elems[i]
-		if t.Dead {
-			continue
-		}
-		dv := d.rootDual[t.Root]
-		if dv < 0 {
-			continue
-		}
-		src, dst := d.owner[dv], newOwner[dv]
-		if src == dst {
-			continue
-		}
-		moved++
-		payload[flow{src, dst}] = append(payload[flow{src, dst}],
-			int64(dv), int64(t.V[0]), int64(t.V[1]), int64(t.V[2]), int64(t.V[3]), int64(t.Level))
-	}
-	const recWords = 6
+	p := d.P
+	ew := EffectiveWorkers(len(m.Elems), d.Workers)
+	pl := collectFlows(m, d.rootDual, d.owner, newOwner, p, ew)
 
 	// Exchange for real over the message-passing runtime and verify
-	// conservation on the receive side.
-	w := comm.NewWorld(d.P)
-	recvCount := make([]int64, d.P)
+	// conservation on the receive side. Each rank's send buffers are
+	// zero-copy subslices of the flat record buffer: rank src owns the
+	// contiguous flow range [src·p, (src+1)·p).
+	w := comm.NewWorld(p)
+	recvCount := make([]int64, p)
 	w.Run(func(c *comm.Comm) {
-		bufs := make([][]int64, d.P)
-		for f, data := range payload {
-			if int(f.src) == c.Rank() {
-				bufs[f.dst] = data
-			}
-		}
-		for i := range bufs {
-			if bufs[i] == nil {
-				bufs[i] = []int64{}
-			}
+		src := c.Rank()
+		bufs := make([][]int64, p)
+		for dst := 0; dst < p; dst++ {
+			bufs[dst] = pl.flowRecs(src*p + dst)
 		}
 		got := c.Alltoallv(bufs)
 		var n int64
-		for src, data := range got {
-			if src == c.Rank() {
+		for from, data := range got {
+			if from == src {
 				continue
 			}
 			if len(data)%recWords != 0 {
@@ -92,44 +81,79 @@ func (d *Dist) ExecuteRemap(newOwner []int32, mdl machine.Model) (RemapResult, e
 			}
 			n += int64(len(data) / recWords)
 		}
-		recvCount[c.Rank()] = n
+		recvCount[src] = n
 	})
 	var recvTotal int64
 	for _, n := range recvCount {
 		recvTotal += n
 	}
-	if recvTotal != moved {
-		return RemapResult{}, fmt.Errorf("par: moved %d elements but received %d", moved, recvTotal)
+	if recvTotal != pl.moved {
+		return RemapResult{}, fmt.Errorf("par: moved %d elements but received %d", pl.moved, recvTotal)
 	}
 
 	// Machine-model accounting (bulk-synchronous: all sends, then all
 	// receives). The modeled volume uses the cost model's M words per
 	// element plus a small shared-structure term proportional to the
 	// number of flows (partition-boundary data is a small percentage and
-	// causes the slight perturbations the paper notes).
-	res := RemapResult{Moved: moved, Sets: len(payload)}
-	clk := machine.NewClock(d.P)
-	sendWords := make([]int64, d.P)
-	recvWords := make([]int64, d.P)
-	recvElems := make([]int64, d.P)
-	packT := make([]float64, d.P)
-	for f, data := range payload {
-		elems := int64(len(data) / recWords)
-		words := elems * int64(mdl.ElemWords)
-		words += words / 32 // shared-structure perturbation ≈ 3%
-		sendWords[f.src] += words
-		recvWords[f.dst] += words
-		recvElems[f.dst] += elems
-		clk.Add(int(f.src), float64(words)*mdl.PackWord+mdl.MsgTime(words))
-		packT[f.src] += float64(words) * mdl.PackWord
-		res.WordsMoved += words
+	// causes the slight perturbations the paper notes). The pack side is
+	// chunked over source ranks and the unpack side over destination
+	// ranks: every rank's flows form a contiguous stripe of the canonical
+	// layout handled by exactly one chunk, so the per-rank float sums are
+	// bit-identical at every worker count. The worker count is resolved
+	// against the p² flow table these loops actually walk — at practical
+	// rank counts that is far below SerialCutoff, so ForChunks takes its
+	// inline single-chunk path and no goroutines are spawned for a few
+	// thousand scalar adds (PredictRemapOps charges this phase serially).
+	res := RemapResult{
+		Moved: pl.moved,
+		Sets:  pl.sets,
+		Ops:   PredictRemapOps(len(m.Elems), pl.moved, pl.sets, p, d.Workers),
 	}
-	for r := 0; r < d.P; r++ {
-		res.PackTime = maxf(res.PackTime, packT[r])
+	acctW := EffectiveWorkers(p*p, d.Workers)
+	sendWords := make([]int64, p)
+	recvWords := make([]int64, p)
+	recvElems := make([]int64, p)
+	packT := make([]float64, p)
+	sendT := make([]float64, p)
+	psort.ForChunks(p, acctW, func(_, lo, hi int) {
+		for src := lo; src < hi; src++ {
+			for dst := 0; dst < p; dst++ {
+				elems := pl.flowStart[src*p+dst+1] - pl.flowStart[src*p+dst]
+				if elems == 0 {
+					continue
+				}
+				words := elems * int64(mdl.ElemWords)
+				words += words / 32 // shared-structure perturbation ≈ 3%
+				sendWords[src] += words
+				sendT[src] += float64(words)*mdl.PackWord + mdl.MsgTime(words)
+				packT[src] += float64(words) * mdl.PackWord
+			}
+		}
+	})
+	psort.ForChunks(p, acctW, func(_, lo, hi int) {
+		for dst := lo; dst < hi; dst++ {
+			for src := 0; src < p; src++ {
+				elems := pl.flowStart[src*p+dst+1] - pl.flowStart[src*p+dst]
+				if elems == 0 {
+					continue
+				}
+				words := elems * int64(mdl.ElemWords)
+				words += words / 32
+				recvWords[dst] += words
+				recvElems[dst] += elems
+			}
+		}
+	})
+
+	clk := machine.NewClock(p)
+	for r := 0; r < p; r++ {
+		res.WordsMoved += sendWords[r]
+		clk.Add(r, sendT[r])
+		res.PackTime = max(res.PackTime, packT[r])
 	}
 	clk.Barrier()
 	res.CommTime = clk.Elapsed() - res.PackTime
-	for r := 0; r < d.P; r++ {
+	for r := 0; r < p; r++ {
 		clk.Add(r, float64(recvWords[r])*mdl.UnpackWord+float64(recvElems[r])*mdl.RebuildElem)
 	}
 	clk.Barrier()
@@ -138,11 +162,4 @@ func (d *Dist) ExecuteRemap(newOwner []int32, mdl machine.Model) (RemapResult, e
 
 	copy(d.owner, newOwner)
 	return res, nil
-}
-
-func maxf(a, b float64) float64 {
-	if a > b {
-		return a
-	}
-	return b
 }

@@ -151,21 +151,23 @@ type Options struct {
 	Seed int64
 	// Refiner is the boundary-refinement backend applied by the backends
 	// that smooth their cuts (GraphGrow, Multilevel, the SFC methods).
-	// nil selects each backend's own default: the deterministic
-	// band-limited parallel FM for the SFC pipeline and GraphGrow, the
-	// classic serial sweep for Multilevel (whose per-level graphs are
-	// small and serial). A non-nil value wins everywhere.
+	// nil selects each backend's own default: refine.Default — the
+	// deterministic band-limited parallel FM when the graph and worker
+	// knob would actually run it parallel, the classic serial sweep
+	// otherwise — for the SFC pipeline and GraphGrow, and always the
+	// classic sweep for Multilevel (whose per-level graphs are small and
+	// serial). A non-nil value wins everywhere.
 	Refiner refine.Refiner
 }
 
-// refiner returns the configured refinement backend, defaulting to
-// BandFM at the options' worker knob (the default of every backend
-// except Multilevel — see multilevelCounted).
-func (o Options) refiner() refine.Refiner {
+// refinerFor returns the configured refinement backend for an n-vertex
+// graph, defaulting to refine.Default at the options' worker knob (the
+// default of every backend except Multilevel — see multilevelCounted).
+func (o Options) refinerFor(n int) refine.Refiner {
 	if o.Refiner != nil {
 		return o.Refiner
 	}
-	return refine.NewBandFM(o.Workers)
+	return refine.Default(n, o.Workers)
 }
 
 // Ops is the abstract work accounting of one partitioning call, charged
@@ -344,7 +346,7 @@ func graphGrowCounted(g *dual.Graph, k int, opt Options) (Assignment, Ops) {
 	}
 	// A refinement pass smooths the growth fronts.
 	out := Ops{Total: ops, Crit: ops}
-	out.AddMem(opt.refiner().Refine(g, asg, k, 2))
+	out.AddMem(opt.refinerFor(g.N).Refine(g, asg, k, 2))
 	return asg, out
 }
 

@@ -327,7 +327,7 @@ func sfcCounted(g *dual.Graph, k int, c sfc.Curve, opt Options) (Assignment, Ops
 	asg := s.Repartition(g, k)
 	ops.Total += s.LastOps
 	ops.Crit += s.LastCritOps
-	ops.AddMem(opt.refiner().Refine(g, asg, k, 2))
+	ops.AddMem(opt.refinerFor(g.N).Refine(g, asg, k, 2))
 	return asg, ops
 }
 

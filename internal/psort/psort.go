@@ -67,6 +67,22 @@ func Workers(n int) int {
 	return n
 }
 
+// EffectiveWorkers resolves the worker count a chunked scan actually runs
+// with: the knob via Workers, clamped to 1 below the caller's serial
+// cutoff and to n above it. The refinement and remap subsystems wrap this
+// with their own cutoffs; cost models must divide parallel phases by the
+// resolved figure, not by the raw knob.
+func EffectiveWorkers(n, workers, cutoff int) int {
+	w := Workers(workers)
+	if n < cutoff || w < 1 {
+		return 1
+	}
+	if w > n {
+		w = n
+	}
+	return w
+}
+
 // NumChunks returns the number of contiguous chunks ForChunks will split
 // [0, n) into for the given worker knob: min(Workers(workers), n), at
 // least 1 when n > 0.

@@ -88,14 +88,23 @@ const SerialCutoff = 1 << 12
 // Cost models must divide the parallel phases by this figure, not by the
 // raw knob — the serial fallback must be charged serially.
 func EffectiveWorkers(n, workers int) int {
-	w := psort.Workers(workers)
-	if n < SerialCutoff || w < 1 {
-		return 1
+	return psort.EffectiveWorkers(n, workers, SerialCutoff)
+}
+
+// Default returns the backend used when no refiner is forced: the
+// band-limited parallel FM when an n-vertex refinement would actually run
+// parallel (EffectiveWorkers > 1), the classic serial sweep otherwise —
+// on a serial host, or below SerialCutoff, the band machinery costs ~2×
+// the plain sweep in wall time and the parallelism buys nothing back.
+// Note the trade: because the two backends produce different (equally
+// valid) cuts, the adaptive default is invariant across worker counts
+// only while EffectiveWorkers stays on one side of 1; forcing a name via
+// ByName restores full worker-count invariance.
+func Default(n, workers int) Refiner {
+	if EffectiveWorkers(n, workers) > 1 {
+		return NewBandFM(workers)
 	}
-	if w > n {
-		w = n
-	}
-	return w
+	return FM{}
 }
 
 // Names lists the available backends, default first — the iteration

@@ -271,6 +271,21 @@ func TestEffectiveWorkers(t *testing.T) {
 	}
 }
 
+// TestDefaultAdaptive pins the adaptive default: band-FM only when the
+// refinement would actually run parallel, the classic sweep otherwise
+// (serial hosts don't pay the ~2× band overhead).
+func TestDefaultAdaptive(t *testing.T) {
+	if r := Default(SerialCutoff, 4); r.Name() != "bandfm" {
+		t.Errorf("parallel default = %s, want bandfm", r.Name())
+	}
+	if r := Default(SerialCutoff, 1); r.Name() != "fm" {
+		t.Errorf("serial-knob default = %s, want fm", r.Name())
+	}
+	if r := Default(SerialCutoff-1, 8); r.Name() != "fm" {
+		t.Errorf("below-cutoff default = %s, want fm", r.Name())
+	}
+}
+
 func TestByName(t *testing.T) {
 	for _, name := range Names {
 		r, ok := ByName(name, 2)
