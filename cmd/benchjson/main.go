@@ -3,7 +3,7 @@
 // JSON, so successive PRs can track the perf trajectory without parsing
 // `go test -bench` text.
 //
-//	go run ./cmd/benchjson                  # writes BENCH_sfc.json + BENCH_refine.json + BENCH_remap.json
+//	go run ./cmd/benchjson                  # writes BENCH_{sfc,adapt,refine,remap}.json
 //	go run ./cmd/benchjson -out - -k 32     # SFC JSON to stdout, k=32 cuts
 //
 // Every exhibit is run at workers=1 (the serial baseline) and, when the
@@ -25,10 +25,13 @@ import (
 	"plum/internal/adapt"
 	"plum/internal/dual"
 	"plum/internal/experiments"
+	"plum/internal/geom"
 	"plum/internal/machine"
 	"plum/internal/mesh"
+	"plum/internal/meshgen"
 	"plum/internal/par"
 	"plum/internal/partition"
+	"plum/internal/propagate"
 	"plum/internal/psort"
 	"plum/internal/refine"
 	"plum/internal/sfc"
@@ -111,6 +114,7 @@ func main() {
 	out := flag.String("out", "BENCH_sfc.json", "SFC pipeline output path ('-' for stdout)")
 	refineOut := flag.String("refineout", "BENCH_refine.json", "refinement output path ('-' for stdout, '' to skip)")
 	remapOut := flag.String("remapout", "BENCH_remap.json", "remap execution output path ('-' for stdout, '' to skip)")
+	adaptOut := flag.String("adaptout", "BENCH_adapt.json", "adaption engine output path ('-' for stdout, '' to skip)")
 	k := flag.Int("k", 16, "partition count for the cut and refinement benches")
 	flag.Parse()
 
@@ -180,6 +184,9 @@ func main() {
 	}, workerCounts)
 	write(&sfcRep, *out)
 
+	if *adaptOut != "" {
+		runAdapt(newReport, workerCounts, *adaptOut)
+	}
 	if *refineOut == "" && *remapOut == "" {
 		return
 	}
@@ -231,6 +238,40 @@ func main() {
 	if *remapOut != "" {
 		runRemap(newReport, m, raw, *k, workerCounts, *remapOut)
 	}
+}
+
+// runAdapt measures the parallel adaption engine: one full ParallelRefine
+// pass (chunked target/propagate/execute/classify scans through the
+// propagation engine) per iteration, on a fresh parallel-scale fixture —
+// the pass mutates the mesh, so setup is rebuilt outside the timer. The
+// marks, stats, and modeled timings are identical at every worker count;
+// the speedup fields compare pure wall time, for each backend.
+func runAdapt(newReport func() Report, workerCounts []int, path string) {
+	mdl := machine.SP2()
+	rep := newReport()
+	var exhibits []exhibit
+	for _, name := range propagate.Names {
+		name := name
+		exhibits = append(exhibits, exhibit{"ParallelRefine/" + name, func(w int, b *testing.B) {
+			prop, _ := propagate.ByName(name, w)
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				m := meshgen.Box(12, 12, 12, geom.Vec3{X: 1, Y: 1, Z: 1})
+				g := dual.Build(m)
+				d := par.NewDist(m, 8, partition.Partition(g, 8, partition.MethodInertial))
+				d.Workers = w
+				d.Prop = prop
+				a := adapt.New(m)
+				a.MarkRandom(0.25, adapt.MarkRefine, 97)
+				b.StartTimer()
+				if _, tm := d.ParallelRefine(a, mdl); tm.Total <= 0 {
+					b.Fatal("no adaption timing")
+				}
+			}
+		}})
+	}
+	measure(&rep, exhibits, workerCounts)
+	write(&rep, path)
 }
 
 // runRemap measures the remap-execution subsystem: the full ExecuteRemap

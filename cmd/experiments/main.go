@@ -15,14 +15,16 @@ import (
 
 import (
 	"plum/internal/experiments"
+	"plum/internal/propagate"
 	"plum/internal/refine"
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: table1, fig8, fig9, fig10, fig11, fig12, extension, partitioners, remap, all")
+	exp := flag.String("exp", "all", "experiment to run: table1, fig8, fig9, fig10, fig11, fig12, extension, partitioners, remap, adapt, all")
 	k := flag.Int("k", 16, "partition count for -exp partitioners")
-	workers := flag.Int("workers", 0, "worker goroutines for parallel partitioning and refinement phases (0 = GOMAXPROCS)")
+	workers := flag.Int("workers", 0, "worker goroutines for parallel partitioning, refinement, and adaption phases (0 = GOMAXPROCS)")
 	refiner := flag.String("refiner", "", "boundary-refinement backend for -exp partitioners: "+strings.Join(refine.Names, ", ")+" ('' = per-backend default)")
+	propg := flag.String("propagator", "", "frontier-propagation backend for -exp adapt: "+strings.Join(propagate.Names, ", ")+" ('' = bulksync)")
 	flag.Parse()
 	if *k < 1 {
 		fmt.Fprintf(os.Stderr, "invalid -k %d: need at least 1 partition\n", *k)
@@ -30,6 +32,10 @@ func main() {
 	}
 	if _, ok := refine.ByName(*refiner, *workers); !ok {
 		fmt.Fprintf(os.Stderr, "unknown refiner %q (have %s)\n", *refiner, strings.Join(refine.Names, ", "))
+		os.Exit(2)
+	}
+	if _, ok := propagate.ByName(*propg, *workers); !ok {
+		fmt.Fprintf(os.Stderr, "unknown propagator %q (have %s)\n", *propg, strings.Join(propagate.Names, ", "))
 		os.Exit(2)
 	}
 
@@ -46,6 +52,7 @@ func main() {
 		{"extension", func() fmt.Stringer { return experiments.RunExtensionRepeated(8, 6) }},
 		{"partitioners", func() fmt.Stringer { return experiments.RunPartitionerTable(*k, *workers, *refiner) }},
 		{"remap", func() fmt.Stringer { return experiments.RunRemapExecTable(*workers) }},
+		{"adapt", func() fmt.Stringer { return experiments.RunAdaptTable(*workers, *propg) }},
 	}
 
 	ran := false

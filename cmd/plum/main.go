@@ -16,11 +16,12 @@ import (
 	"os"
 
 	"plum/internal/adapt"
+	"plum/internal/chunk"
 	"plum/internal/core"
 	"plum/internal/geom"
 	"plum/internal/meshgen"
 	"plum/internal/partition"
-	"plum/internal/psort"
+	"plum/internal/propagate"
 	"plum/internal/refine"
 	"plum/internal/solver"
 )
@@ -38,6 +39,7 @@ func main() {
 		mapper  = flag.String("mapper", "heuristic", "processor reassignment: heuristic, optimal")
 		parter  = flag.String("partitioner", "multilevel", "repartitioner: graphgrow, inertial, spectral, multilevel, morton, hilbert")
 		refiner = flag.String("refiner", "", "boundary-refinement backend: bandfm, diffusion, fm (default: adaptive — band-FM when the effective worker count exceeds 1, classic FM on serial hosts and inside multilevel)")
+		propg   = flag.String("propagator", "", "adaption frontier-propagation backend: bulksync, aggregated (default: bulksync)")
 		seed    = flag.Int64("seed", 1, "random seed")
 		workers = flag.Int("workers", 0, "worker goroutines for parallel partitioning and refinement phases (0 = GOMAXPROCS)")
 		scale   = flag.Float64("scale", 1.0, "mesh scale factor (1.0 = paper's 61k elements)")
@@ -67,6 +69,10 @@ func main() {
 		log.Fatalf("unknown refiner %q (have %v)", *refiner, refine.Names)
 	}
 	cfg.Refiner = *refiner
+	if _, ok := propagate.ByName(*propg, *workers); !ok {
+		log.Fatalf("unknown propagator %q (have %v)", *propg, propagate.Names)
+	}
+	cfg.Propagator = *propg
 
 	rp := meshgen.DefaultRotor()
 	if *scale != 1.0 {
@@ -91,8 +97,9 @@ func main() {
 	if refName == "" {
 		refName = "auto"
 	}
-	fmt.Printf("config: P=%d F=%d threshold=%.2f mapper=%s partitioner=%s refiner=%s workers=%d\n",
-		cfg.P, cfg.F, cfg.ImbalanceThreshold, cfg.Mapper, cfg.Method, refName, psort.Workers(cfg.Workers))
+	propName, _ := propagate.ByName(cfg.Propagator, cfg.Workers)
+	fmt.Printf("config: P=%d F=%d threshold=%.2f mapper=%s partitioner=%s refiner=%s propagator=%s workers=%d\n",
+		cfg.P, cfg.F, cfg.ImbalanceThreshold, cfg.Mapper, cfg.Method, refName, propName.Name(), chunk.Workers(cfg.Workers))
 
 	var stratFn func(a *adapt.Adaptor)
 	switch *strat {
@@ -135,9 +142,12 @@ func main() {
 				b.ImbalanceAfter, b.MoveC, b.MoveN, b.Gain, b.Cost, b.Remap.Total)
 		}
 		if *verbose {
-			fmt.Printf("         target=%.4f propagate=%.4f execute=%.4f classify=%.4f rounds=%d msgs=%d\n",
+			fmt.Printf("         target=%.4f propagate=%.4f execute=%.4f classify=%.4f rounds=%d msgs=%d words=%d\n",
 				rep.AdaptTime.Target, rep.AdaptTime.Propagate, rep.AdaptTime.Execute,
-				rep.AdaptTime.Classify, rep.AdaptTime.CommRounds, rep.AdaptTime.Msgs)
+				rep.AdaptTime.Classify, rep.AdaptTime.CommRounds, rep.AdaptTime.Msgs, rep.AdaptTime.Words)
+			fmt.Printf("         adapt ops=%d crit=%d execT=%.3gs visits=%d marked=%d\n",
+				b.AdaptOps, b.AdaptCritOps, b.AdaptExecTime,
+				rep.AdaptTime.Visits, rep.AdaptTime.Marked)
 			if b.Repartitioned {
 				fmt.Printf("         repart ops=%d crit=%d (refine %d/%d) compT=%.3gs memT=%.3gs reassign ops=%d t=%.3gs\n",
 					b.RepartitionOps, b.RepartitionCritOps, b.RefineOps, b.RefineCritOps,

@@ -1,0 +1,50 @@
+package chunk
+
+import "testing"
+
+func TestWorkersAndCount(t *testing.T) {
+	if Workers(0) < 1 || Workers(-3) < 1 {
+		t.Fatal("Workers must resolve non-positive knobs to ≥ 1")
+	}
+	if Workers(5) != 5 {
+		t.Fatal("Workers must pass positive knobs through")
+	}
+	if Count(3, 8) != 3 {
+		t.Fatalf("Count(3,8) = %d, want 3", Count(3, 8))
+	}
+	if Count(0, 8) != 1 {
+		t.Fatalf("Count(0,8) = %d, want 1", Count(0, 8))
+	}
+}
+
+func TestEffectiveWorkers(t *testing.T) {
+	if ew := EffectiveWorkers(100, 8, 1000); ew != 1 {
+		t.Fatalf("below cutoff must be serial, got %d", ew)
+	}
+	if ew := EffectiveWorkers(5000, 8, 1000); ew != 8 {
+		t.Fatalf("above cutoff must honor the knob, got %d", ew)
+	}
+	if ew := EffectiveWorkers(5000, 9999, 1000); ew != 5000 {
+		t.Fatalf("knob must clamp to n, got %d", ew)
+	}
+}
+
+// TestForCoversRange verifies the chunking is a disjoint exact cover of
+// [0, n).
+func TestForCoversRange(t *testing.T) {
+	for _, n := range []int{0, 1, 7, 100, 1001} {
+		for _, w := range []int{1, 2, 3, 8, 200} {
+			hit := make([]int32, n)
+			For(n, w, func(_, lo, hi int) {
+				for i := lo; i < hi; i++ {
+					hit[i]++
+				}
+			})
+			for i, h := range hit {
+				if h != 1 {
+					t.Fatalf("n=%d w=%d: index %d covered %d times", n, w, i, h)
+				}
+			}
+		}
+	}
+}

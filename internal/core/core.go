@@ -18,6 +18,7 @@ import (
 	"plum/internal/mesh"
 	"plum/internal/par"
 	"plum/internal/partition"
+	"plum/internal/propagate"
 	"plum/internal/refine"
 	"plum/internal/remap"
 	"plum/internal/solver"
@@ -72,6 +73,11 @@ type Config struct {
 	// band-FM for the parallel SFC path, classic FM inside Multilevel.
 	// See internal/refine.
 	Refiner string
+	// Propagator names the frontier-propagation backend driving the
+	// parallel adaption phases: "bulksync" (the paper's per-pair
+	// exchange) or "aggregated" (per-rank message aggregation for high
+	// processor counts). "" selects bulksync. See internal/propagate.
+	Propagator string
 	// PreAdapt uniformly refines the mesh this many times before the
 	// dual graph is built, then rebases the refinement history — the
 	// paper's remedy when the initial mesh is too small for good
@@ -181,6 +187,10 @@ func New(m *mesh.Mesh, sol *solver.Solver, cfg Config) (*Framework, error) {
 	if _, ok := refine.ByName(cfg.Refiner, cfg.Workers); !ok {
 		return nil, fmt.Errorf("core: unknown refiner %q (have %v)", cfg.Refiner, refine.Names)
 	}
+	prop, ok := propagate.ByName(cfg.Propagator, cfg.Workers)
+	if !ok {
+		return nil, fmt.Errorf("core: unknown propagator %q (have %v)", cfg.Propagator, propagate.Names)
+	}
 	for i := 0; i < cfg.PreAdapt; i++ {
 		pa := adapt.New(m)
 		pa.MarkRegion(geom.All{}, adapt.MarkRefine)
@@ -204,6 +214,7 @@ func New(m *mesh.Mesh, sol *solver.Solver, cfg Config) (*Framework, error) {
 	asg := partitionMaybeAgglomerated(g, cfg)
 	d := par.NewDist(m, cfg.P, asg)
 	d.Workers = cfg.Workers // the remap scatter and SPL scans share the knob
+	d.Prop = prop           // the adaption phases' frontier-propagation backend
 	return &Framework{
 		Cfg: cfg,
 		M:   m,
@@ -306,6 +317,16 @@ type BalanceReport struct {
 	// critical path at Model.MemOp, the compute-bound remainder at
 	// Model.CompOp.
 	RemapExecTime float64
+	// AdaptOps, AdaptCritOps, and AdaptExecTime describe the parallel
+	// adaption pass that preceded this balance pass
+	// (par.PredictAdaptOps of the executed phase quantities), filled by
+	// Cycle; zero when Balance is invoked directly. Adaption is
+	// mandatory work the cycle performs whatever the remap decision, so
+	// these sit beside the pipeline costs for visibility rather than on
+	// the acceptance rule's cost side.
+	AdaptOps      int64
+	AdaptCritOps  int64
+	AdaptExecTime float64
 	// Gain and Cost are the two sides of the acceptance test; Accepted
 	// reports whether the remap was executed.
 	Gain, Cost float64
@@ -433,6 +454,9 @@ func (f *Framework) Cycle(mark func(*adapt.Adaptor)) (CycleReport, error) {
 	if err != nil {
 		return rep, err
 	}
+	bal.AdaptOps = rep.AdaptTime.Ops.Total
+	bal.AdaptCritOps = rep.AdaptTime.Ops.Crit
+	bal.AdaptExecTime = rep.AdaptTime.Ops.Time(f.Cfg.Model)
 	rep.Balance = bal
 	return rep, nil
 }

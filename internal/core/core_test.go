@@ -8,6 +8,7 @@ import (
 	"plum/internal/geom"
 	"plum/internal/meshgen"
 	"plum/internal/partition"
+	"plum/internal/propagate"
 	"plum/internal/refine"
 	"plum/internal/solver"
 )
@@ -29,6 +30,44 @@ func TestNewRejectsBadConfig(t *testing.T) {
 	}
 	if _, err := New(m, nil, Config{P: 2, F: 0}); err == nil {
 		t.Error("accepted F=0")
+	}
+	bad := DefaultConfig(2)
+	bad.Propagator = "nope"
+	if _, err := New(meshgen.UnitCube(), nil, bad); err == nil {
+		t.Error("accepted unknown propagator")
+	}
+}
+
+// TestCycleAdaptAccounting checks that a cycle surfaces the adaption
+// pass's first-class cost figures in the balance report for every
+// propagation backend: nonzero totals, a critical path no longer than the
+// total, and the modeled wall clock derived from them.
+func TestCycleAdaptAccounting(t *testing.T) {
+	for _, name := range propagate.Names {
+		m := meshgen.SmallBox()
+		cfg := DefaultConfig(4)
+		cfg.Propagator = name
+		f, err := New(m, nil, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := f.Cycle(func(a *adapt.Adaptor) {
+			a.MarkRandom(0.10, adapt.MarkRefine, 7)
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		b := rep.Balance
+		if b.AdaptOps <= 0 || b.AdaptCritOps <= 0 || b.AdaptCritOps > b.AdaptOps {
+			t.Errorf("%s: bad adapt ops %d/%d", name, b.AdaptOps, b.AdaptCritOps)
+		}
+		if b.AdaptExecTime <= 0 {
+			t.Errorf("%s: no modeled adapt exec time", name)
+		}
+		if b.AdaptOps != rep.AdaptTime.Ops.Total ||
+			b.AdaptExecTime != rep.AdaptTime.Ops.Time(cfg.Model) {
+			t.Errorf("%s: report drifted from the pass's own accounting", name)
+		}
 	}
 }
 

@@ -1,0 +1,99 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"plum/internal/adapt"
+	"plum/internal/dual"
+	"plum/internal/machine"
+	"plum/internal/par"
+	"plum/internal/partition"
+	"plum/internal/propagate"
+)
+
+// AdaptExecRow is one processor count's adaption-phase anatomy.
+type AdaptExecRow struct {
+	P int
+	// Rounds, Visits, and Marked summarize the propagation engine's
+	// fixpoint; Msgs and Words its traffic under the chosen backend plus
+	// the classification round.
+	Rounds         int
+	Visits, Marked int64
+	Msgs, Words    int64
+	// Ops is the pass's abstract work accounting (par.PredictAdaptOps of
+	// the executed quantities).
+	Ops propagate.Ops
+	// Target/Propagate/Execute/Classify/Total decompose the modeled SP2
+	// adaption time.
+	Target, Propagate, Execute, Classify, Total float64
+	// HostSeconds is the real wall time of the ParallelRefine call on
+	// this host at the table's worker knob (single shot: the pass
+	// mutates the mesh, so it cannot be repeated on the same fixture).
+	HostSeconds float64
+}
+
+// AdaptExecTable is the adaption anatomy the paper's Fig. 8 folds into a
+// single speedup number: the per-P cost of the marking, propagation,
+// subdivision, and classification phases, measured over the chunked
+// propagation engine at a configurable worker knob and backend.
+type AdaptExecTable struct {
+	Workers    int
+	Propagator string
+	Rows       []AdaptExecRow
+}
+
+// RunAdaptTable refines the paper mesh with the Local_2 strategy under
+// the given propagation backend ("" = bulksync) for a range of processor
+// counts, reporting the execution anatomy at the given worker knob (≤ 0 =
+// GOMAXPROCS). Each row rebuilds the mesh: the pass mutates it.
+func RunAdaptTable(workers int, propagator string) *AdaptExecTable {
+	mdl := machine.SP2()
+	prop, ok := propagate.ByName(propagator, workers)
+	if !ok {
+		panic(fmt.Sprintf("experiments: unknown propagator %q", propagator))
+	}
+	out := &AdaptExecTable{Workers: workers, Propagator: prop.Name()}
+	for _, p := range ProcCounts {
+		m := BaseMesh()
+		g := dual.Build(m)
+		d := par.NewDist(m, p, partition.Partition(g, p, partition.MethodInertial))
+		d.Workers = workers
+		d.Prop = prop
+		a := adapt.New(m)
+		a.MarkStrategyRefine(adapt.Local2, Seed)
+
+		t0 := time.Now()
+		_, tm := d.ParallelRefine(a, mdl)
+		host := time.Since(t0).Seconds()
+
+		out.Rows = append(out.Rows, AdaptExecRow{
+			P:      p,
+			Rounds: tm.CommRounds, Visits: tm.Visits, Marked: tm.Marked,
+			Msgs: tm.Msgs, Words: tm.Words,
+			Ops:    tm.Ops,
+			Target: tm.Target, Propagate: tm.Propagate,
+			Execute: tm.Execute, Classify: tm.Classify, Total: tm.Total,
+			HostSeconds: host,
+		})
+	}
+	return out
+}
+
+// String renders the anatomy table.
+func (t *AdaptExecTable) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Adaption anatomy, Local_2 refinement (SP2 model, propagator=%s, workers=%d)\n",
+		t.Propagator, t.Workers)
+	fmt.Fprintf(&b, "%6s%8s%10s%10s%8s%10s%14s%14s%12s%12s%12s%12s%12s%12s\n",
+		"P", "rounds", "visits", "marked", "msgs", "words", "ops", "crit ops",
+		"target (s)", "prop (s)", "exec (s)", "class (s)", "total (s)", "host (s)")
+	for _, r := range t.Rows {
+		fmt.Fprintf(&b, "%6d%8d%10d%10d%8d%10d%14d%14d%12.4g%12.4g%12.4g%12.4g%12.4g%12.6f\n",
+			r.P, r.Rounds, r.Visits, r.Marked, r.Msgs, r.Words,
+			r.Ops.Total, r.Ops.Crit,
+			r.Target, r.Propagate, r.Execute, r.Classify, r.Total, r.HostSeconds)
+	}
+	return b.String()
+}

@@ -2,12 +2,17 @@ package par
 
 import (
 	"plum/internal/adapt"
+	"plum/internal/chunk"
 	"plum/internal/machine"
 	"plum/internal/mesh"
+	"plum/internal/propagate"
 )
 
 // AdaptTimings reports the modeled SP2 execution time of one parallel
-// adaption phase, broken down the way the paper instruments it.
+// adaption phase, broken down the way the paper instruments it. Every
+// field except Ops.Crit/MemCrit is byte-identical at every worker count:
+// the scans merge integer partials in chunk order and the message charges
+// accumulate in sorted (src, dst) pair order, never map order.
 type AdaptTimings struct {
 	// Target is the edge-marking (error indicator) phase: perfectly
 	// distributed across local edges.
@@ -24,8 +29,27 @@ type AdaptTimings struct {
 	Total float64
 	// CommRounds is the number of propagation supersteps.
 	CommRounds int
-	// Msgs and Words count the propagation + classification traffic.
+	// Msgs and Words count the propagation + classification traffic
+	// under the propagation backend's exchange model (see
+	// propagate.BulkSync and propagate.Aggregated).
 	Msgs, Words int64
+	// Visits is the number of frontier element examinations the
+	// propagation engine performed; Marked the edges it newly committed.
+	Visits, Marked int64
+	// Ops is the abstract work accounting of the whole pass
+	// (PredictAdaptOps of the phase quantities): Total and MemTotal are
+	// worker-invariant, Crit/MemCrit reflect the effective worker count
+	// actually used (Crit == Total on the serial fallbacks).
+	Ops propagate.Ops
+}
+
+// propagator resolves the frontier-propagation backend: the Prop knob, or
+// BulkSync at the Dist's worker knob when unset.
+func (d *Dist) propagator() propagate.Propagator {
+	if d.Prop != nil {
+		return d.Prop
+	}
+	return propagate.NewBulkSync(d.Workers)
 }
 
 // patternOf mirrors the adaptor's pattern computation: local edges that
@@ -40,17 +64,130 @@ func (d *Dist) patternOf(a *adapt.Adaptor, t *mesh.Element) adapt.Pattern {
 	return p
 }
 
+// adaptWorld adapts the (Dist, Adaptor) pair to the propagation engine's
+// World interface: patterns are proposed against the live mark set
+// (reads only, safe across worker goroutines), commits go through
+// SetMark serially, and reach/SPL probes walk the edge incidence lists.
+type adaptWorld struct {
+	d *Dist
+	a *adapt.Adaptor
+}
+
+func (w adaptWorld) Owner(el int32) int32 { return w.d.OwnerOf(mesh.ElemID(el)) }
+
+func (w adaptWorld) Propose(el int32, buf []int32) []int32 {
+	t := &w.d.M.Elems[el]
+	if !t.Active() {
+		return buf
+	}
+	p := w.d.patternOf(w.a, t)
+	add := p.Upgrade() &^ p
+	if add == 0 {
+		return buf
+	}
+	for le := 0; le < 6; le++ {
+		if add.Has(le) {
+			buf = append(buf, int32(t.E[le]))
+		}
+	}
+	return buf
+}
+
+func (w adaptWorld) Commit(e int32) { w.a.SetMark(mesh.EdgeID(e), adapt.MarkRefine) }
+
+func (w adaptWorld) Reach(e int32, elems []int32) []int32 {
+	for _, nb := range w.d.M.Edges[e].Elems {
+		if w.d.M.Elems[nb].Active() {
+			elems = append(elems, int32(nb))
+		}
+	}
+	return elems
+}
+
+func (w adaptWorld) SPL(e int32, spl []int32) []int32 {
+	return w.d.EdgeSPL(mesh.EdgeID(e), spl)
+}
+
+// seedFrontier returns the initial propagation frontier: every active
+// element with a nonzero pattern, in ascending element order (the
+// chunked gather preserves the slab order).
+func (d *Dist) seedFrontier(a *adapt.Adaptor) []int32 {
+	n := len(d.M.Elems)
+	return chunk.Gather(n, EffectiveWorkers(n, d.Workers), func(lo, hi int) []int32 {
+		var loc []int32
+		for i := lo; i < hi; i++ {
+			t := &d.M.Elems[i]
+			if t.Active() && d.patternOf(a, t) != 0 {
+				loc = append(loc, int32(i))
+			}
+		}
+		return loc
+	})
+}
+
+// perRankCounts runs a chunked scan over [lo, hi), calling visit with a
+// per-chunk rank-count accumulator and a reusable SPL scratch buffer —
+// identical totals at every worker count (chunk.GatherCounts merges in
+// chunk order).
+func (d *Dist) perRankCounts(lo, hi int, visit func(i int, cnt []int64, buf *[]int32)) []int64 {
+	n := hi - lo
+	return chunk.GatherCounts(n, EffectiveWorkers(n, d.Workers), d.P, func(clo, chi int, cnt []int64) {
+		var buf []int32
+		for i := clo; i < chi; i++ {
+			visit(lo+i, cnt, &buf)
+		}
+	})
+}
+
+// PredictAdaptOps returns the op accounting one parallel adaption pass
+// reports for the given phase quantities: the chunked target/shared-mark
+// scans over nEdges edges, the two chunked slab-sized element scans
+// (seed or snapshot, plus the execution charge over nElems), the
+// kernel's serial element mutations, the SPL-intersection classification
+// over the classified new edges, and the propagation engine's result —
+// which also carries any pass-specific extras the caller charged into
+// prop.Ops (classification pair bookkeeping, coarsening's created-tail
+// scan). The
+// slab scans resolve their worker count against par.SerialCutoff (the
+// engine's rounds already carry theirs against propagate.SerialCutoff),
+// so a serial host or a small mesh reports Crit == Total.
+func PredictAdaptOps(nEdges, nElems, mutations, classified int64, prop propagate.Result, workers int) propagate.Ops {
+	o := prop.Ops
+	ewE := EffectiveWorkers(int(nEdges), workers)
+	ewN := EffectiveWorkers(int(nElems), workers)
+	// The target mark scan streams the edge slab (compute-bound); the
+	// bisection / shared-mark scan probes SPLs over the same slab
+	// (memory-bound pointer chasing).
+	o.AddParallel(nEdges, ewE)
+	o.AddParallelMem(nEdges, ewE)
+	// Seed/snapshot plus execution-charge pattern scans over the element
+	// slab (compute-bound).
+	o.AddParallel(2*nElems, ewN)
+	// Kernel mutations: serial element creation/removal (memory-bound
+	// data-structure updates).
+	o.AddSerialMem(mutations)
+	// Classification: SPL-intersection probe over the new-edge slab
+	// (memory-bound).
+	if classified > 0 {
+		o.AddParallelMem(classified, EffectiveWorkers(int(classified), workers))
+	}
+	o.Clamp()
+	return o
+}
+
 // ParallelRefine executes one refinement pass of the distributed 3D_TAG
-// algorithm: rank-local marking propagation with bulk-synchronous
-// exchange of newly marked shared edges, independent subdivision of local
-// elements, and the shared-edge classification round. The mesh mutation is
-// performed by the (verified) serial kernel; the per-rank work and message
-// pattern are replayed against the ownership map and charged to the
-// machine model.
+// algorithm: edge marking, superstep frontier propagation through the
+// propagate engine, independent subdivision of local elements, and the
+// shared-edge classification round. The mesh mutation is performed by the
+// (verified) serial kernel; the per-rank work and message pattern are
+// replayed against the ownership map and charged to the machine model.
+// All scans are chunked over Workers goroutines with the same
+// determinism contract as ExecuteRemap and Init.
 func (d *Dist) ParallelRefine(a *adapt.Adaptor, mdl machine.Model) (adapt.RefineStats, AdaptTimings) {
 	var tm AdaptTimings
 	m := d.M
 	clk := machine.NewClock(d.P)
+	prop := d.propagator()
 
 	// --- Target phase: error indicator over local edges. ---
 	initSt := d.Init()
@@ -60,140 +197,55 @@ func (d *Dist) ParallelRefine(a *adapt.Adaptor, mdl machine.Model) (adapt.Refine
 	clk.Barrier()
 	tm.Target = clk.Elapsed()
 
-	// --- Propagation phase: local fixpoints + shared-edge exchange. ---
-	queues := make([][]mesh.ElemID, d.P)
-	queued := make([]bool, len(m.Elems))
-	push := func(el mesh.ElemID) {
-		if !queued[el] && m.Elems[el].Active() {
-			queued[el] = true
-			r := d.OwnerOf(el)
-			queues[r] = append(queues[r], el)
-		}
-	}
-	for i := range m.Elems {
-		t := &m.Elems[i]
-		if t.Active() && d.patternOf(a, t) != 0 {
-			push(mesh.ElemID(i))
-		}
-	}
+	nEdges0 := len(m.Edges)
+	nElems0 := len(m.Elems)
 
-	var splBuf []int32
-	for {
-		tm.CommRounds++
-		visits := make([]int64, d.P)
-		// outbox[r][dst] = newly marked shared edge ids to send.
-		outbox := make([]map[int32][]int64, d.P)
-		for r := range outbox {
-			outbox[r] = make(map[int32][]int64)
-		}
-		deferred := make(map[int32][]mesh.ElemID) // remote activations this round
-
-		for r := 0; r < d.P; r++ {
-			q := queues[r]
-			queues[r] = nil
-			for len(q) > 0 {
-				el := q[len(q)-1]
-				q = q[:len(q)-1]
-				queued[el] = false
-				t := &m.Elems[el]
-				if !t.Active() {
-					continue
-				}
-				visits[r]++
-				p := d.patternOf(a, t)
-				add := p.Upgrade() &^ p
-				if add == 0 {
-					continue
-				}
-				for le := 0; le < 6; le++ {
-					if !add.Has(le) {
-						continue
-					}
-					e := t.E[le]
-					a.SetMark(e, adapt.MarkRefine)
-					spl := d.EdgeSPL(e, splBuf)
-					splBuf = spl
-					for _, nb := range m.Edges[e].Elems {
-						o := d.OwnerOf(nb)
-						if o == int32(r) {
-							if !queued[nb] && m.Elems[nb].Active() {
-								queued[nb] = true
-								q = append(q, nb)
-							}
-						} else {
-							deferred[o] = append(deferred[o], nb)
-						}
-					}
-					if len(spl) > 1 {
-						for _, o := range spl {
-							if o != int32(r) {
-								outbox[r][o] = append(outbox[r][o], int64(e))
-							}
-						}
-					}
-				}
-			}
-		}
-
-		// Charge this round's work and traffic.
-		anyMsg := false
-		for r := 0; r < d.P; r++ {
-			w := float64(visits[r]) * mdl.PropagateVisit
-			for _, edges := range outbox[r] {
-				w += mdl.MsgTime(int64(len(edges)))
-				tm.Msgs++
-				tm.Words += int64(len(edges))
-				anyMsg = true
-			}
-			clk.Add(r, w)
-		}
+	// --- Propagation phase: superstep frontier fixpoint. ---
+	res := prop.Run(adaptWorld{d, a}, d.seedFrontier(a), clk, mdl)
+	if res.Rounds == 0 {
+		res.Rounds = 1 // the fixpoint-check round: one empty superstep
 		clk.Barrier()
-
-		if !anyMsg {
-			break
-		}
-		// Deliver: remote ranks re-examine elements adjacent to newly
-		// marked shared edges.
-		for _, els := range deferred {
-			for _, el := range els {
-				push(el)
-			}
-		}
-		// If the deliveries did not enqueue anything new the next round
-		// terminates immediately with no messages.
 	}
+	tm.CommRounds = res.Rounds
+	tm.Msgs, tm.Words = res.Msgs, res.Words
+	tm.Visits, tm.Marked = res.Visits, res.Marked
 	propEnd := clk.Elapsed()
 	tm.Propagate = propEnd - tm.Target
 
 	// --- Execution phase: bisection + subdivision, attributed by owner. ---
-	// Bisection work replicates on every rank sharing the edge.
+	// Bisection work replicates on every rank sharing the edge; the scan
+	// counts shares per rank and charges once per rank.
 	marks := a.MarksSnapshot()
-	for ei := range marks {
+	bisect := d.perRankCounts(0, len(marks), func(ei int, cnt []int64, buf *[]int32) {
 		if marks[ei] != adapt.MarkRefine {
-			continue
+			return
 		}
 		ed := &m.Edges[ei]
 		if ed.Dead || ed.Bisected() {
-			continue
+			return
 		}
-		spl := d.EdgeSPL(mesh.EdgeID(ei), splBuf)
-		splBuf = spl
+		spl := d.EdgeSPL(mesh.EdgeID(ei), *buf)
+		*buf = spl
 		for _, r := range spl {
-			clk.Add(int(r), mdl.BisectEdge)
+			cnt[r]++
 		}
+	})
+	for r := 0; r < d.P; r++ {
+		clk.Add(r, float64(bisect[r])*mdl.BisectEdge)
 	}
-	// Subdivision work goes to the element's owner.
-	childCount := [4]float64{0, 2, 4, 8}
-	for i := range m.Elems {
+	// Subdivision work goes to the element's owner, one unit per child.
+	childCount := [4]int64{0, 2, 4, 8}
+	children := d.perRankCounts(0, nElems0, func(i int, cnt []int64, _ *[]int32) {
 		t := &m.Elems[i]
 		if !t.Active() {
-			continue
+			return
 		}
-		p := d.patternOf(a, t)
-		if p == 0 {
-			continue
+		if p := d.patternOf(a, t); p != 0 {
+			cnt[d.OwnerOf(mesh.ElemID(i))] += childCount[p.Kind()]
 		}
-		clk.Add(int(d.OwnerOf(mesh.ElemID(i))), childCount[p.Kind()]*mdl.SubdivideChild)
+	})
+	for r := 0; r < d.P; r++ {
+		clk.Add(r, float64(children[r])*mdl.SubdivideChild)
 	}
 	edgesBefore := len(m.Edges)
 
@@ -205,48 +257,60 @@ func (d *Dist) ParallelRefine(a *adapt.Adaptor, mdl machine.Model) (adapt.Refine
 
 	// --- Classification phase: new edges whose endpoint SPLs intersect
 	// require one communication to decide shared vs. internal. ---
-	type pair [2]int32
-	queries := make(map[pair]int64)
-	var vb []int32
-	for ei := edgesBefore; ei < len(m.Edges); ei++ {
-		ed := &m.Edges[ei]
-		if ed.Dead || ed.Parent != mesh.InvalidEdge {
-			continue // half-edges inherit their parent's SPL (case 2)
-		}
-		s0 := append([]int32(nil), d.VertSPL(ed.V[0], vb)...)
-		s1 := d.VertSPL(ed.V[1], vb)
-		vb = s1
-		inter := intersectSorted(s0, s1)
-		if len(inter) <= 1 {
-			continue // internal edge (cases 1 and 3)
-		}
-		for _, r := range inter {
-			for _, o := range inter {
-				if r != o {
-					queries[pair{r, o}] += 2 // edge id + verdict, in words
-				}
-			}
-		}
-	}
-	for pq, words := range queries {
-		clk.Add(int(pq[0]), mdl.MsgTime(words))
-		tm.Msgs++
-		tm.Words += words
-	}
+	pairs := propagate.AggregatePairs(d.classifyPairs(edgesBefore))
+	msgs, words := prop.ChargeExchange(clk, mdl, pairs)
+	tm.Msgs += msgs
+	tm.Words += words
 	clk.Barrier()
 	tm.Classify = clk.Elapsed() - execEnd
 	tm.Total = clk.Elapsed()
+
+	res.Ops.AddSerial(int64(len(pairs)))
+	tm.Ops = PredictAdaptOps(int64(nEdges0), int64(nElems0), int64(st.NewElems),
+		int64(len(m.Edges)-edgesBefore), res, d.Workers)
 	return st, tm
 }
 
+// classifyPairs runs the chunked shared-edge classification scan over the
+// edges created at or after edgesBefore: every new non-half edge whose
+// endpoint SPLs intersect in more than one rank contributes a two-word
+// query (edge id + verdict) per ordered rank pair. The raw contributions
+// merge in chunk order; AggregatePairs puts them in canonical charge
+// order.
+func (d *Dist) classifyPairs(edgesBefore int) []propagate.PairWords {
+	m := d.M
+	n := len(m.Edges) - edgesBefore
+	return chunk.Gather(n, EffectiveWorkers(n, d.Workers), func(lo, hi int) []propagate.PairWords {
+		var out []propagate.PairWords
+		var s0, s1, inter []int32
+		for i := lo; i < hi; i++ {
+			ed := &m.Edges[edgesBefore+i]
+			if ed.Dead || ed.Parent != mesh.InvalidEdge {
+				continue // half-edges inherit their parent's SPL (case 2)
+			}
+			s0 = d.VertSPL(ed.V[0], s0)
+			s1 = d.VertSPL(ed.V[1], s1)
+			inter = intersectSorted(inter[:0], s0, s1)
+			if len(inter) <= 1 {
+				continue // internal edge (cases 1 and 3)
+			}
+			out = propagate.PairsFromSPL(out, inter, 2) // edge id + verdict, in words
+		}
+		return out
+	})
+}
+
 // ParallelCoarsen executes one coarsening pass with per-rank attribution:
-// marking over local edges, sibling-group removal charged to the parent's
-// owner, the conformity re-refinement charged to the new children's
-// owners, and one shared-mark consistency round.
+// marking over local edges, one shared-mark consistency exchange through
+// the propagation backend, sibling-group removal charged to the parent's
+// owner, and the conformity re-refinement charged to the new children's
+// owners. The mark scan and both execution scans are chunked like
+// ParallelRefine's.
 func (d *Dist) ParallelCoarsen(a *adapt.Adaptor, mdl machine.Model) (adapt.CoarsenStats, AdaptTimings) {
 	var tm AdaptTimings
 	m := d.M
 	clk := machine.NewClock(d.P)
+	prop := d.propagator()
 
 	initSt := d.Init()
 	for r := 0; r < d.P; r++ {
@@ -255,77 +319,100 @@ func (d *Dist) ParallelCoarsen(a *adapt.Adaptor, mdl machine.Model) (adapt.Coars
 	clk.Barrier()
 	tm.Target = clk.Elapsed()
 
+	nEdges0 := len(m.Edges)
+	nElems0 := len(m.Elems)
+
 	// Shared-mark consistency round: coarsen marks on shared edges are
 	// exchanged once (symmetric marking makes further rounds unneeded).
-	type pair [2]int32
-	batch := make(map[pair]int64)
-	var splBuf []int32
+	// The chunked scan gathers per-chunk (src, dst) contributions; the
+	// sorted aggregation fixes the charge order the old per-round map
+	// left to map iteration.
 	marks := a.MarksSnapshot()
-	for ei := range marks {
-		if marks[ei] != adapt.MarkCoarsen {
-			continue
-		}
-		ed := &m.Edges[ei]
-		if ed.Dead || ed.Bisected() {
-			continue
-		}
-		spl := d.EdgeSPL(mesh.EdgeID(ei), splBuf)
-		splBuf = spl
-		if len(spl) < 2 {
-			continue
-		}
-		for _, r := range spl {
-			for _, o := range spl {
-				if r != o {
-					batch[pair{r, o}]++
-				}
+	nMarks := len(marks)
+	raw := chunk.Gather(nMarks, EffectiveWorkers(nMarks, d.Workers), func(lo, hi int) []propagate.PairWords {
+		var out []propagate.PairWords
+		var buf []int32
+		for ei := lo; ei < hi; ei++ {
+			if marks[ei] != adapt.MarkCoarsen {
+				continue
 			}
+			ed := &m.Edges[ei]
+			if ed.Dead || ed.Bisected() {
+				continue
+			}
+			spl := d.EdgeSPL(mesh.EdgeID(ei), buf)
+			buf = spl
+			if len(spl) < 2 {
+				continue
+			}
+			out = propagate.PairsFromSPL(out, spl, 1)
 		}
-	}
-	for pq, words := range batch {
-		clk.Add(int(pq[0]), mdl.MsgTime(words))
-		tm.Msgs++
-		tm.Words += words
-	}
+		return out
+	})
+	pairs := propagate.AggregatePairs(raw)
+	var res propagate.Result
+	res.Rounds = 1
+	res.Ops.AddSerial(int64(len(pairs)))
+	res.Msgs, res.Words = prop.ChargeExchange(clk, mdl, pairs)
 	clk.Barrier()
-	tm.CommRounds = 1
+	tm.CommRounds = res.Rounds
+	tm.Msgs, tm.Words = res.Msgs, res.Words
 	propEnd := clk.Elapsed()
 	tm.Propagate = propEnd - tm.Target
 
-	deadBefore := make([]bool, len(m.Elems))
-	for i := range m.Elems {
-		deadBefore[i] = m.Elems[i].Dead
-	}
-	nBefore := len(m.Elems)
+	// Snapshot liveness so the post-kernel scans can attribute removals.
+	deadBefore := make([]bool, nElems0)
+	chunk.For(nElems0, EffectiveWorkers(nElems0, d.Workers), func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			deadBefore[i] = m.Elems[i].Dead
+		}
+	})
 
 	st := a.Coarsen()
 
 	// Removal work: newly dead elements, charged to their tree's owner.
-	for i := 0; i < nBefore; i++ {
+	removed := d.perRankCounts(0, nElems0, func(i int, cnt []int64, _ *[]int32) {
 		if m.Elems[i].Dead && !deadBefore[i] {
-			clk.Add(int(d.OwnerOf(mesh.ElemID(i))), mdl.RemoveElem)
+			cnt[d.OwnerOf(mesh.ElemID(i))]++
 		}
+	})
+	for r := 0; r < d.P; r++ {
+		clk.Add(r, float64(removed[r])*mdl.RemoveElem)
 	}
-	// Re-refinement work: elements created during the pass.
-	for i := nBefore; i < len(m.Elems); i++ {
+	// Re-refinement work: elements created during the pass. This tail
+	// scan is a third element pass ParallelRefine doesn't have, so it is
+	// charged into the pass's accounting here, at the tail's own
+	// effective worker count (PredictAdaptOps covers only the two
+	// slab-sized scans).
+	tail := len(m.Elems) - nElems0
+	created := d.perRankCounts(nElems0, len(m.Elems), func(i int, cnt []int64, _ *[]int32) {
 		if !m.Elems[i].Dead {
-			clk.Add(int(d.OwnerOf(mesh.ElemID(i))), mdl.SubdivideChild)
+			cnt[d.OwnerOf(mesh.ElemID(i))]++
 		}
+	})
+	res.Ops.AddParallel(int64(tail), EffectiveWorkers(tail, d.Workers))
+	for r := 0; r < d.P; r++ {
+		clk.Add(r, float64(created[r])*mdl.SubdivideChild)
 	}
 	clk.Barrier()
 	tm.Execute = clk.Elapsed() - propEnd
 	tm.Total = clk.Elapsed()
+
+	var mutations int64
+	for r := 0; r < d.P; r++ {
+		mutations += removed[r] + created[r]
+	}
+	tm.Ops = PredictAdaptOps(int64(nEdges0), int64(nElems0), mutations, 0, res, d.Workers)
 	return st, tm
 }
 
-// intersectSorted intersects two sorted unique slices.
-func intersectSorted(a, b []int32) []int32 {
-	var out []int32
+// intersectSorted intersects two sorted unique slices into dst.
+func intersectSorted(dst, a, b []int32) []int32 {
 	i, j := 0, 0
 	for i < len(a) && j < len(b) {
 		switch {
 		case a[i] == b[j]:
-			out = append(out, a[i])
+			dst = append(dst, a[i])
 			i++
 			j++
 		case a[i] < b[j]:
@@ -334,5 +421,5 @@ func intersectSorted(a, b []int32) []int32 {
 			j++
 		}
 	}
-	return out
+	return dst
 }

@@ -1,0 +1,69 @@
+package par
+
+import (
+	"fmt"
+	"testing"
+
+	"plum/internal/adapt"
+	"plum/internal/dual"
+	"plum/internal/geom"
+	"plum/internal/machine"
+	"plum/internal/meshgen"
+	"plum/internal/partition"
+	"plum/internal/propagate"
+)
+
+// adaptBenchFixture builds a parallel-scale refine fixture. The pass
+// mutates the mesh, so every iteration rebuilds it outside the timer.
+func adaptBenchFixture(w int, prop propagate.Propagator) (*Dist, *adapt.Adaptor) {
+	m := meshgen.Box(12, 12, 12, geom.Vec3{X: 1, Y: 1, Z: 1}) // 10368 elements
+	g := dual.Build(m)
+	d := NewDist(m, 8, partition.Partition(g, 8, partition.MethodInertial))
+	d.Workers = w
+	d.Prop = prop
+	a := adapt.New(m)
+	a.MarkRandom(0.25, adapt.MarkRefine, 97)
+	return d, a
+}
+
+// BenchmarkParallelRefine is the acceptance benchmark of the parallel
+// adaption engine: one full refine pass — chunked target scan, superstep
+// frontier propagation, chunked execute/classify scans — workers=1 versus
+// GOMAXPROCS. Marks, stats, and modeled timings are identical at every
+// worker count; only the wall time may differ.
+func BenchmarkParallelRefine(b *testing.B) {
+	mdl := machine.SP2()
+	for _, bw := range benchRemapWorkers() {
+		b.Run(fmt.Sprintf("workers=%d", bw), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				d, a := adaptBenchFixture(bw, nil)
+				b.StartTimer()
+				if _, tm := d.ParallelRefine(a, mdl); tm.Total <= 0 {
+					b.Fatal("no adaption timing")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkParallelCoarsen measures the coarsening pass — the chunked
+// shared-mark consistency scan plus the removal/re-refinement charge
+// scans — on a pre-refined fixture.
+func BenchmarkParallelCoarsen(b *testing.B) {
+	mdl := machine.SP2()
+	for _, bw := range benchRemapWorkers() {
+		b.Run(fmt.Sprintf("workers=%d", bw), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				d, a := adaptBenchFixture(bw, nil)
+				d.ParallelRefine(a, mdl)
+				a.MarkRandom(0.30, adapt.MarkCoarsen, 43)
+				b.StartTimer()
+				if _, tm := d.ParallelCoarsen(a, mdl); tm.Total <= 0 {
+					b.Fatal("no coarsen timing")
+				}
+			}
+		})
+	}
+}

@@ -19,9 +19,10 @@ import (
 	"fmt"
 	"slices"
 
+	"plum/internal/chunk"
 	"plum/internal/mesh"
 	"plum/internal/partition"
-	"plum/internal/psort"
+	"plum/internal/propagate"
 )
 
 // Dist is a distributed view: a mesh plus processor ownership of each
@@ -32,11 +33,17 @@ type Dist struct {
 
 	// Workers bounds the worker-goroutine count of the chunked O(mesh)
 	// scans — the remap execution's CSR flow scatter, the Init
-	// shared-object analysis, and RankLoads. ≤ 0 means
+	// shared-object analysis, RankLoads, and the adaption-phase
+	// target/execute/classification scans. ≤ 0 means
 	// runtime.GOMAXPROCS; below SerialCutoff objects every scan falls
 	// back to a serial loop regardless. Results are identical at every
 	// worker count.
 	Workers int
+
+	// Prop selects the frontier-propagation backend driving
+	// ParallelRefine and ParallelCoarsen (see internal/propagate). nil
+	// means BulkSync at the Dist's worker knob.
+	Prop propagate.Propagator
 
 	// owner[i] is the processor owning dual vertex i (level-0 element
 	// tree i, in dual.Build scan order).
@@ -173,10 +180,10 @@ func (d *Dist) Init() InitStats {
 	// Edge scan: per-rank local copies and the shared-edge census. Each
 	// chunk probes SPLs into its own scratch buffer.
 	ne := len(d.M.Edges)
-	ncE := psort.NumChunks(ne, EffectiveWorkers(ne, d.Workers))
+	ncE := chunk.Count(ne, EffectiveWorkers(ne, d.Workers))
 	edgeLocal := make([][]int64, ncE)
 	edgeShared := make([]int, ncE)
-	psort.ForChunks(ne, EffectiveWorkers(ne, d.Workers), func(c, lo, hi int) {
+	chunk.For(ne, EffectiveWorkers(ne, d.Workers), func(c, lo, hi int) {
 		loc := make([]int64, d.P)
 		shared := 0
 		var buf []int32
@@ -206,10 +213,10 @@ func (d *Dist) Init() InitStats {
 
 	// Vertex scan: the shared-vertex census.
 	nv := len(d.M.Verts)
-	ncV := psort.NumChunks(nv, EffectiveWorkers(nv, d.Workers))
+	ncV := chunk.Count(nv, EffectiveWorkers(nv, d.Workers))
 	vertShared := make([]int, ncV)
 	vertTotal := make([]int, ncV)
-	psort.ForChunks(nv, EffectiveWorkers(nv, d.Workers), func(c, lo, hi int) {
+	chunk.For(nv, EffectiveWorkers(nv, d.Workers), func(c, lo, hi int) {
 		shared, total := 0, 0
 		var buf []int32
 		for vi := lo; vi < hi; vi++ {
@@ -234,11 +241,7 @@ func (d *Dist) Init() InitStats {
 	}
 
 	// Element scan: per-rank local subgrid sizes.
-	for _, loc := range d.localLoads() {
-		for r, n := range loc {
-			st.LocalElems[r] += n
-		}
-	}
+	copy(st.LocalElems, d.localLoads())
 
 	totalE := d.M.NumActiveEdges()
 	if totalE+totalV > 0 {
@@ -247,22 +250,17 @@ func (d *Dist) Init() InitStats {
 	return st
 }
 
-// localLoads runs the chunked active-element ownership scan, returning
-// one per-rank partial count per chunk (merge in chunk order).
-func (d *Dist) localLoads() [][]int64 {
+// localLoads runs the chunked active-element ownership scan, merging the
+// per-chunk partial counts in chunk order.
+func (d *Dist) localLoads() []int64 {
 	n := len(d.M.Elems)
-	ew := EffectiveWorkers(n, d.Workers)
-	parts := make([][]int64, psort.NumChunks(n, ew))
-	psort.ForChunks(n, ew, func(c, lo, hi int) {
-		loc := make([]int64, d.P)
+	return chunk.GatherCounts(n, EffectiveWorkers(n, d.Workers), d.P, func(lo, hi int, cnt []int64) {
 		for i := lo; i < hi; i++ {
 			if d.M.Elems[i].Active() {
-				loc[d.OwnerOf(mesh.ElemID(i))]++
+				cnt[d.OwnerOf(mesh.ElemID(i))]++
 			}
 		}
-		parts[c] = loc
 	})
-	return parts
 }
 
 // RankLoads returns the active-element count per processor — the Wcomp
@@ -270,13 +268,7 @@ func (d *Dist) localLoads() [][]int64 {
 // Workers goroutines; integer partial sums merge in chunk order, so the
 // result is identical at every worker count.
 func (d *Dist) RankLoads() []int64 {
-	loads := make([]int64, d.P)
-	for _, loc := range d.localLoads() {
-		for r, n := range loc {
-			loads[r] += n
-		}
-	}
-	return loads
+	return d.localLoads()
 }
 
 // ImbalanceFactor returns the paper's Wmax/Wavg metric over the current

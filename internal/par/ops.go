@@ -1,67 +1,13 @@
 package par
 
-import "plum/internal/machine"
+import "plum/internal/propagate"
 
-// Ops is the abstract work accounting of one remap-execution call,
-// mirroring partition.Ops: Total is the op count summed over all workers,
-// Crit the critical-path share a parallel machine actually waits for, and
-// MemTotal/MemCrit the memory-bound (scatter-dominated) slice of each,
-// charged at machine.Model.MemOp rather than CompOp. A serial execution
-// path reports Crit == Total.
-type Ops struct {
-	Total int64
-	Crit  int64
-	// MemTotal and MemCrit are the memory-bound share of Total and Crit:
-	// the record fill's scatter writes and the unpack/verify drain. The
-	// compute-bound remainder (the streaming count scan, the prefix-sum
-	// layout) is charged at Model.CompOp.
-	MemTotal int64
-	MemCrit  int64
-}
-
-// AddSerial accumulates purely serial compute-bound work: it extends the
-// critical path one-for-one.
-func (o *Ops) AddSerial(n int64) {
-	o.Total += n
-	o.Crit += n
-}
-
-// AddParallel accumulates compute-bound work divided across ew workers:
-// the critical path is charged the slowest worker's (ceiling) share.
-func (o *Ops) AddParallel(total int64, ew int) {
-	o.Total += total
-	o.Crit += ceilDiv(total, int64(ew))
-}
-
-// AddParallelMem accumulates memory-bound work divided across ew workers;
-// it counts toward the totals and toward the Mem share charged at MemOp.
-func (o *Ops) AddParallelMem(total int64, ew int) {
-	o.Total += total
-	o.Crit += ceilDiv(total, int64(ew))
-	o.MemTotal += total
-	o.MemCrit += ceilDiv(total, int64(ew))
-}
-
-// clamp caps the critical path at the total: no schedule is slower than
-// running everything serially, and the per-phase ceiling terms can
-// otherwise nudge past it at tiny sizes.
-func (o *Ops) clamp() {
-	if o.Crit > o.Total {
-		o.Crit = o.Total
-	}
-	if o.MemCrit > o.MemTotal {
-		o.MemCrit = o.MemTotal
-	}
-}
-
-// Time converts the accounting to modeled seconds on the machine's two
-// rates: the mem-bound critical path at MemOp, the compute-bound
-// remainder at CompOp.
-func (o Ops) Time(mdl machine.Model) float64 {
-	return float64(o.Crit-o.MemCrit)*mdl.CompOp + float64(o.MemCrit)*mdl.MemOp
-}
-
-// ceilDiv returns ⌈a/b⌉ for positive b.
-func ceilDiv(a, b int64) int64 {
-	return (a + b - 1) / b
-}
+// Ops is the abstract work accounting shared by the remap execution and
+// the adaption passes: Total is the op count summed over all workers,
+// Crit the critical-path share a parallel machine actually waits for,
+// and MemTotal/MemCrit the memory-bound (scatter/adjacency-dominated)
+// slice of each, charged at machine.Model.MemOp rather than CompOp. A
+// serial execution path reports Crit == Total. It is the propagation
+// subsystem's Ops — one implementation, aliased here so the remap API
+// keeps its historical name.
+type Ops = propagate.Ops

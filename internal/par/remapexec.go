@@ -3,9 +3,9 @@ package par
 import (
 	"fmt"
 
+	"plum/internal/chunk"
 	"plum/internal/comm"
 	"plum/internal/machine"
-	"plum/internal/psort"
 )
 
 // RemapResult reports one executed data remapping.
@@ -115,7 +115,7 @@ func (d *Dist) ExecuteRemap(newOwner []int32, mdl machine.Model) (RemapResult, e
 	recvElems := make([]int64, p)
 	packT := make([]float64, p)
 	sendT := make([]float64, p)
-	psort.ForChunks(p, acctW, func(_, lo, hi int) {
+	chunk.For(p, acctW, func(_, lo, hi int) {
 		for src := lo; src < hi; src++ {
 			for dst := 0; dst < p; dst++ {
 				elems := pl.flowStart[src*p+dst+1] - pl.flowStart[src*p+dst]
@@ -130,7 +130,7 @@ func (d *Dist) ExecuteRemap(newOwner []int32, mdl machine.Model) (RemapResult, e
 			}
 		}
 	})
-	psort.ForChunks(p, acctW, func(_, lo, hi int) {
+	chunk.For(p, acctW, func(_, lo, hi int) {
 		for dst := lo; dst < hi; dst++ {
 			for src := 0; src < p; src++ {
 				elems := pl.flowStart[src*p+dst+1] - pl.flowStart[src*p+dst]

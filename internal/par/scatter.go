@@ -12,8 +12,8 @@ package par
 // byte-identical at every worker count.
 
 import (
+	"plum/internal/chunk"
 	"plum/internal/mesh"
-	"plum/internal/psort"
 )
 
 // recWords is the size of one migrating element record in the real
@@ -32,7 +32,7 @@ const SerialCutoff = 1 << 13
 // objects and to n above it. Cost models must divide the parallel phases
 // by this figure, not by the raw knob.
 func EffectiveWorkers(n, workers int) int {
-	return psort.EffectiveWorkers(n, workers, SerialCutoff)
+	return chunk.EffectiveWorkers(n, workers, SerialCutoff)
 }
 
 // flowPlan is one remap execution's CSR scatter: every migrating
@@ -82,9 +82,9 @@ func collectFlows(m *mesh.Mesh, rootDual, owner, newOwner []int32, p, ew int) fl
 	}
 
 	// Pass 1 — per-chunk, per-flow record counts.
-	nc := psort.NumChunks(n, ew)
+	nc := chunk.Count(n, ew)
 	counts := make([][]int32, nc)
-	psort.ForChunks(n, ew, func(c, lo, hi int) {
+	chunk.For(n, ew, func(c, lo, hi int) {
 		cnt := make([]int32, nf)
 		for i := lo; i < hi; i++ {
 			if f := flowOf(i); f >= 0 {
@@ -119,7 +119,7 @@ func collectFlows(m *mesh.Mesh, rootDual, owner, newOwner []int32, p, ew int) fl
 	// Pass 2 — parallel fill. Every (chunk, flow) region is disjoint, so
 	// the scatter needs no locks and allocates nothing per element.
 	pl.recs = make([]int64, pos*recWords)
-	psort.ForChunks(n, ew, func(c, lo, hi int) {
+	chunk.For(n, ew, func(c, lo, hi int) {
 		cur := cursor[c]
 		for i := lo; i < hi; i++ {
 			f := flowOf(i)
@@ -163,6 +163,6 @@ func PredictRemapOps(nElems int, moved int64, sets, p, workers int) Ops {
 	// Unpack side: draining and verifying the received records touches
 	// the same volume once more, memory-bound.
 	o.AddParallelMem(moved*recWords, ew)
-	o.clamp()
+	o.Clamp()
 	return o
 }

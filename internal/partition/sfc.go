@@ -3,6 +3,7 @@ package partition
 import (
 	"sort"
 
+	"plum/internal/chunk"
 	"plum/internal/dual"
 	"plum/internal/psort"
 	"plum/internal/sfc"
@@ -58,7 +59,7 @@ func NewSFC(g *dual.Graph, c sfc.Curve) *SFCPartitioner {
 // NewSFCWorkers is NewSFC with an explicit worker knob (≤ 0 = GOMAXPROCS).
 // The curve order is identical at every worker count.
 func NewSFCWorkers(g *dual.Graph, c sfc.Curve, workers int) *SFCPartitioner {
-	w := psort.Workers(workers)
+	w := chunk.Workers(workers)
 	s := &SFCPartitioner{Curve: c, Workers: w, order: make([]int32, g.N)}
 	keys := sfc.KeysWorkers(c, g.Centroid, w)
 	for i := range s.order {
@@ -118,7 +119,7 @@ func (s *SFCPartitioner) Repartition(g *dual.Graph, k int) Assignment {
 	}
 	w := s.Workers
 	if w < 1 {
-		w = psort.Workers(w)
+		w = chunk.Workers(w)
 	}
 
 	// Resolve the worker count the cut actually runs with; the serial
@@ -136,7 +137,7 @@ func (s *SFCPartitioner) Repartition(g *dual.Graph, k int) Assignment {
 
 	// Fill: every vertex between consecutive bounds belongs to that part.
 	// Chunked over the order; each index is written exactly once.
-	psort.ForChunks(n, w, func(_, lo, hi int) {
+	chunk.For(n, w, func(_, lo, hi int) {
 		p := sort.Search(k, func(p int) bool { return bounds[p+1] > lo })
 		for i := lo; i < hi; i++ {
 			for i >= bounds[p+1] {
@@ -215,16 +216,16 @@ func (s *SFCPartitioner) cutSerial(g *dual.Graph, k int) []int {
 // the serial scan, the resulting windows are bit-identical.
 func (s *SFCPartitioner) cutParallel(g *dual.Graph, k, w int) []int {
 	n := len(s.order)
-	nc := psort.NumChunks(n, w)
+	nc := chunk.Count(n, w)
 
 	// Pass 1: per-chunk weight sums → exclusive chunk offsets.
 	chunkSum := make([]int64, nc)
-	psort.ForChunks(n, w, func(chunk, lo, hi int) {
+	chunk.For(n, w, func(c, lo, hi int) {
 		var sum int64
 		for _, v := range s.order[lo:hi] {
 			sum += g.Wcomp[v]
 		}
-		chunkSum[chunk] = sum
+		chunkSum[c] = sum
 	})
 	offset := make([]int64, nc)
 	var total int64
@@ -245,12 +246,12 @@ func (s *SFCPartitioner) cutParallel(g *dual.Graph, k, w int) []int {
 	// -1. Windows are nondecreasing along the order, so only the first
 	// hit per window matters.
 	firsts := make([][]int32, nc)
-	psort.ForChunks(n, w, func(chunk, lo, hi int) {
+	chunk.For(n, w, func(c, lo, hi int) {
 		fw := make([]int32, k)
 		for p := range fw {
 			fw[p] = -1
 		}
-		prefix := offset[chunk]
+		prefix := offset[c]
 		for i := lo; i < hi; i++ {
 			v := s.order[i]
 			p := windowOf(prefix, g.Wcomp[v], total, k)
@@ -259,7 +260,7 @@ func (s *SFCPartitioner) cutParallel(g *dual.Graph, k, w int) []int {
 			}
 			prefix += g.Wcomp[v]
 		}
-		firsts[chunk] = fw
+		firsts[c] = fw
 	})
 
 	// Merge: the global first of window p is the earliest chunk's first

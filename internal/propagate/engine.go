@@ -1,0 +1,227 @@
+package propagate
+
+import (
+	"slices"
+
+	"plum/internal/chunk"
+	"plum/internal/machine"
+)
+
+// proposal is one (edge, proposing rank) pair gathered by the frontier
+// scan. Sorting by (edge, src) puts the commits in canonical ascending
+// edge order with each edge's proposing ranks grouped and sorted.
+type proposal struct {
+	edge, src int32
+}
+
+// notif is one shared-edge notification: src tells dst that edge was
+// newly marked this round. The round's outbox is the slice of these
+// sorted by (src, dst, edge) — a flat CSR layout whose runs are the
+// per-pair message batches.
+type notif struct {
+	src, dst, edge int32
+}
+
+// runRounds is the superstep engine shared by both backends; x supplies
+// the exchange-charging model. Every phase either runs serially in a
+// canonical order or chunks with per-chunk partials merged in chunk
+// order, so the result and the clock are identical at every worker count.
+func runRounds(w World, frontier []int32, workers int, clk *machine.Clock, mdl machine.Model, x Propagator) Result {
+	p := clk.P()
+	var res Result
+
+	// Canonicalize the seed: ascending unique element ids.
+	slices.Sort(frontier)
+	frontier = slices.Compact(frontier)
+
+	var outbox []notif
+	var raw []PairWords
+	for len(frontier) > 0 {
+		res.Rounds++
+		n := len(frontier)
+		ew := EffectiveWorkers(n, workers)
+		nc := chunk.Count(n, ew)
+
+		// Proposal scan: per-worker frontier buckets. Chunks are
+		// contiguous ranges of the sorted frontier, so concatenating the
+		// buckets in chunk order reproduces canonical element order.
+		visitParts := make([][]int64, nc)
+		propParts := make([][]proposal, nc)
+		chunk.For(n, ew, func(c, lo, hi int) {
+			vis := make([]int64, p)
+			var props []proposal
+			var eb []int32
+			for i := lo; i < hi; i++ {
+				el := frontier[i]
+				src := w.Owner(el)
+				vis[src]++
+				eb = w.Propose(el, eb[:0])
+				for _, e := range eb {
+					props = append(props, proposal{e, src})
+				}
+			}
+			visitParts[c] = vis
+			propParts[c] = props
+		})
+		visits := make([]int64, p)
+		var props []proposal
+		for c := 0; c < nc; c++ {
+			for r, v := range visitParts[c] {
+				visits[r] += v
+			}
+			props = append(props, propParts[c]...)
+		}
+		res.Visits += int64(n)
+		res.Ops.AddParallelMem(int64(n), ew)
+
+		// Commit phase: serial, ascending (edge, src), duplicates merged.
+		// The frontier slice is fully consumed, so its backing array is
+		// reused for the next round's candidates.
+		slices.SortFunc(props, func(a, b proposal) int {
+			if a.edge != b.edge {
+				return int(a.edge) - int(b.edge)
+			}
+			return int(a.src) - int(b.src)
+		})
+		props = slices.Compact(props)
+		next := frontier[:0]
+		outbox = outbox[:0]
+		var reach, spl []int32
+		for i := 0; i < len(props); {
+			e := props[i].edge
+			j := i
+			for j < len(props) && props[j].edge == e {
+				j++
+			}
+			w.Commit(e)
+			res.Marked++
+			reach = w.Reach(e, reach[:0])
+			next = append(next, reach...)
+			spl = w.SPL(e, spl[:0])
+			if len(spl) > 1 {
+				// Each proposing rank notifies the other sharers; it
+				// cannot know another rank marked the same edge this
+				// round (the paper's symmetric-notification semantics).
+				for k := i; k < j; k++ {
+					src := props[k].src
+					for _, dst := range spl {
+						if dst != src {
+							outbox = append(outbox, notif{src, dst, e})
+						}
+					}
+				}
+			}
+			i = j
+		}
+		res.Ops.AddSerialMem(int64(len(props)))
+
+		// The outbox is already in (src, dst, edge) order: edges ascend
+		// outermost, but a stable sort on (src, dst) keeps edge order
+		// within each run, yielding the CSR batch layout.
+		slices.SortStableFunc(outbox, func(a, b notif) int {
+			if a.src != b.src {
+				return int(a.src) - int(b.src)
+			}
+			return int(a.dst) - int(b.dst)
+		})
+		raw = raw[:0]
+		for _, nt := range outbox {
+			if k := len(raw); k > 0 && raw[k-1].Src == nt.src && raw[k-1].Dst == nt.dst {
+				raw[k-1].Words++
+			} else {
+				raw = append(raw, PairWords{Src: nt.src, Dst: nt.dst, Words: 1})
+			}
+		}
+		res.Ops.AddSerial(int64(len(raw)))
+
+		// Charge the round and synchronize.
+		for r := 0; r < p; r++ {
+			clk.Add(r, float64(visits[r])*mdl.PropagateVisit)
+		}
+		m, wd := x.ChargeExchange(clk, mdl, raw)
+		res.Msgs += m
+		res.Words += wd
+		clk.Barrier()
+
+		slices.Sort(next)
+		frontier = slices.Compact(next)
+	}
+	res.Ops.Clamp()
+	return res
+}
+
+// BulkSync is the paper's bulk-synchronous exchange: every nonempty
+// (src, dst) rank pair costs its own message per round, charged to the
+// sender.
+type BulkSync struct {
+	workers int
+}
+
+// NewBulkSync returns the bulk-synchronous backend at the given worker
+// knob (≤ 0 = GOMAXPROCS).
+func NewBulkSync(workers int) *BulkSync { return &BulkSync{workers: workers} }
+
+// Name implements Propagator.
+func (b *BulkSync) Name() string { return "bulksync" }
+
+// Run implements Propagator.
+func (b *BulkSync) Run(w World, frontier []int32, clk *machine.Clock, mdl machine.Model) Result {
+	return runRounds(w, frontier, b.workers, clk, mdl, b)
+}
+
+// ChargeExchange implements Propagator: one message per (src, dst) batch,
+// Tsetup plus the per-word copy charged to the sender.
+func (b *BulkSync) ChargeExchange(clk *machine.Clock, mdl machine.Model, pairs []PairWords) (msgs, words int64) {
+	for _, pw := range pairs {
+		clk.Add(int(pw.Src), mdl.MsgTime(pw.Words))
+		msgs++
+		words += pw.Words
+	}
+	return msgs, words
+}
+
+// Aggregated is the message-aggregation exchange for high processor
+// counts: each source rank concatenates all of its batches into one
+// combined buffer laid out per destination and pays a single message
+// setup for it; each destination drains its combined inbox at the
+// per-word rate. The word volume is identical to BulkSync; the message
+// count drops from O(P²) to O(P) per round, which is what the Tsetup
+// term rewards at scale.
+type Aggregated struct {
+	workers int
+}
+
+// NewAggregated returns the aggregating backend at the given worker knob
+// (≤ 0 = GOMAXPROCS).
+func NewAggregated(workers int) *Aggregated { return &Aggregated{workers: workers} }
+
+// Name implements Propagator.
+func (a *Aggregated) Name() string { return "aggregated" }
+
+// Run implements Propagator.
+func (a *Aggregated) Run(w World, frontier []int32, clk *machine.Clock, mdl machine.Model) Result {
+	return runRounds(w, frontier, a.workers, clk, mdl, a)
+}
+
+// ChargeExchange implements Propagator: one combined message per active
+// source, per-word drain on every destination.
+func (a *Aggregated) ChargeExchange(clk *machine.Clock, mdl machine.Model, pairs []PairWords) (msgs, words int64) {
+	p := clk.P()
+	out := make([]int64, p)
+	in := make([]int64, p)
+	for _, pw := range pairs {
+		out[pw.Src] += pw.Words
+		in[pw.Dst] += pw.Words
+		words += pw.Words
+	}
+	for r := 0; r < p; r++ {
+		if out[r] > 0 {
+			clk.Add(r, mdl.MsgTime(out[r]))
+			msgs++
+		}
+		if in[r] > 0 {
+			clk.Add(r, float64(in[r])*mdl.Tlat)
+		}
+	}
+	return msgs, words
+}

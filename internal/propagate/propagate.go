@@ -1,0 +1,257 @@
+// Package propagate is the deterministic parallel frontier-propagation
+// engine behind the distributed 3D_TAG adaption phases: the iterative
+// pattern-upgrade process of ParallelRefine and the shared-mark
+// consistency exchange of ParallelCoarsen (internal/par).
+//
+// The engine runs the paper's marking propagation as bulk-synchronous
+// supersteps over an element frontier. Each round chunks the frontier
+// across worker goroutines, gathers every element's newly required edges
+// into per-worker buckets, merges the buckets in canonical element order,
+// commits the marks serially in ascending edge order, and lays the
+// round's shared-edge notifications out as a CSR outbox sorted by
+// (src, dst, edge) — replacing the per-rank map[int32][]int64 outboxes
+// whose iteration order made the modeled times run-to-run nondeterministic.
+// Because every merge happens in a fixed order that depends only on the
+// frontier (never on the chunking), the final mark set, the round count,
+// the message/word traffic, and the modeled clock are byte-identical at
+// every worker count.
+//
+// Two backends implement the Propagator interface:
+//
+//   - BulkSync:   the paper's exchange — one message per nonempty
+//     (src, dst) rank pair per round, Tsetup paid per pair.
+//   - Aggregated: message aggregation for high processor counts
+//     (cf. the wait-free AMR literature): each rank concatenates all of a
+//     round's notifications into one combined buffer laid out per
+//     destination, paying one message setup per source rank per round
+//     instead of one per pair; destinations drain their combined inbox at
+//     the per-word rate. Same words, O(P) messages instead of O(P²).
+package propagate
+
+import (
+	"slices"
+
+	"plum/internal/chunk"
+	"plum/internal/machine"
+)
+
+// SerialCutoff is the frontier size below which a round's proposal scan
+// falls back to a serial loop. It is deliberately lower than the remap
+// scatter's cutoff: a frontier visit does six pattern probes and an
+// adjacency chase per element, so the chunk bookkeeping amortizes much
+// earlier than on the record-copy scans.
+const SerialCutoff = 1 << 10
+
+// EffectiveWorkers resolves the worker count a propagation round actually
+// runs with: the knob (≤ 0 = GOMAXPROCS), clamped to 1 below SerialCutoff
+// frontier elements. Cost models must divide the parallel phases by this
+// figure, not by the raw knob — the serial fallback is charged serially.
+func EffectiveWorkers(n, workers int) int {
+	return chunk.EffectiveWorkers(n, workers, SerialCutoff)
+}
+
+// Ops is the abstract work accounting of one adaption pass, mirroring
+// par.Ops: Total is the op count summed over all workers, Crit the
+// critical-path share a parallel machine actually waits for, and
+// MemTotal/MemCrit the memory-bound (adjacency-chasing, data-structure
+// mutation) slice of each, charged at machine.Model.MemOp rather than
+// CompOp. A serial execution path reports Crit == Total.
+type Ops struct {
+	Total int64
+	Crit  int64
+	// MemTotal and MemCrit are the memory-bound share of Total and Crit:
+	// frontier visits (SPL and adjacency chasing), the serial commit
+	// drain, and the kernel's element mutations. The compute-bound
+	// remainder (pattern scans, pair bookkeeping) is charged at
+	// Model.CompOp.
+	MemTotal int64
+	MemCrit  int64
+}
+
+// AddSerial accumulates purely serial compute-bound work: it extends the
+// critical path one-for-one.
+func (o *Ops) AddSerial(n int64) {
+	o.Total += n
+	o.Crit += n
+}
+
+// AddSerialMem accumulates purely serial memory-bound work.
+func (o *Ops) AddSerialMem(n int64) {
+	o.Total += n
+	o.Crit += n
+	o.MemTotal += n
+	o.MemCrit += n
+}
+
+// AddParallel accumulates compute-bound work divided across ew workers:
+// the critical path is charged the slowest worker's (ceiling) share.
+func (o *Ops) AddParallel(total int64, ew int) {
+	o.Total += total
+	o.Crit += ceilDiv(total, int64(ew))
+}
+
+// AddParallelMem accumulates memory-bound work divided across ew workers;
+// it counts toward the totals and toward the Mem share charged at MemOp.
+func (o *Ops) AddParallelMem(total int64, ew int) {
+	o.Total += total
+	o.Crit += ceilDiv(total, int64(ew))
+	o.MemTotal += total
+	o.MemCrit += ceilDiv(total, int64(ew))
+}
+
+// Clamp caps the critical path at the total: no schedule is slower than
+// running everything serially, and the per-phase ceiling terms can
+// otherwise nudge past it at tiny sizes.
+func (o *Ops) Clamp() {
+	if o.Crit > o.Total {
+		o.Crit = o.Total
+	}
+	if o.MemCrit > o.MemTotal {
+		o.MemCrit = o.MemTotal
+	}
+}
+
+// Time converts the accounting to modeled seconds on the machine's two
+// rates: the mem-bound critical path at MemOp, the compute-bound
+// remainder at CompOp.
+func (o Ops) Time(mdl machine.Model) float64 {
+	return float64(o.Crit-o.MemCrit)*mdl.CompOp + float64(o.MemCrit)*mdl.MemOp
+}
+
+// ceilDiv returns ⌈a/b⌉ for positive b.
+func ceilDiv(a, b int64) int64 {
+	return (a + b - 1) / b
+}
+
+// World is the mesh-facing surface the engine drives. The distributed
+// layer (par.Dist + adapt.Adaptor) implements it; tests substitute
+// synthetic graphs.
+type World interface {
+	// Owner returns the rank owning element el.
+	Owner(el int32) int32
+	// Propose appends the edges element el newly requires under the
+	// current marks (its pattern upgrade's add-set) to buf and returns
+	// it. Called concurrently from worker goroutines during the frontier
+	// scan; it must only read shared state. The proposal rule must be
+	// monotone in the mark set — marking more edges never shrinks an
+	// element's requirement — which makes the fixpoint independent of
+	// visit order.
+	Propose(el int32, buf []int32) []int32
+	// Commit marks edge e. Called serially, once per edge, in ascending
+	// edge order.
+	Commit(e int32)
+	// Reach appends the active elements sharing edge e to elems and
+	// returns it — the next round's frontier candidates.
+	Reach(e int32, elems []int32) []int32
+	// SPL appends the sorted shared-processor list of edge e to spl and
+	// returns it; a list longer than one marks a shared edge.
+	SPL(e int32, spl []int32) []int32
+}
+
+// PairWords is one (src, dst) notification batch of an exchange: Words
+// message words bound from rank Src to rank Dst.
+type PairWords struct {
+	Src, Dst int32
+	Words    int64
+}
+
+// comparePairs orders batches by (src, dst) — the canonical exchange
+// order every backend charges in.
+func comparePairs(a, b PairWords) int {
+	switch {
+	case a.Src != b.Src:
+		return int(a.Src) - int(b.Src)
+	case a.Dst != b.Dst:
+		return int(a.Dst) - int(b.Dst)
+	}
+	return 0
+}
+
+// PairsFromSPL appends the ordered (src, dst) expansion of one shared
+// object's processor list to out — words message words from every sharer
+// to every other sharer — and returns it. Feed the accumulated raw list
+// to AggregatePairs for the canonical charge order.
+func PairsFromSPL(out []PairWords, spl []int32, words int64) []PairWords {
+	for _, r := range spl {
+		for _, o := range spl {
+			if r != o {
+				out = append(out, PairWords{Src: r, Dst: o, Words: words})
+			}
+		}
+	}
+	return out
+}
+
+// AggregatePairs sorts raw (src, dst, words) contributions by (src, dst)
+// and merges duplicates, returning the canonical batch list
+// ChargeExchange consumes. The input is clobbered.
+func AggregatePairs(raw []PairWords) []PairWords {
+	if len(raw) == 0 {
+		return nil
+	}
+	slices.SortFunc(raw, comparePairs)
+	out := raw[:1]
+	for _, pw := range raw[1:] {
+		if last := &out[len(out)-1]; last.Src == pw.Src && last.Dst == pw.Dst {
+			last.Words += pw.Words
+		} else {
+			out = append(out, pw)
+		}
+	}
+	return out
+}
+
+// Result reports one propagation run (or one standalone exchange).
+type Result struct {
+	// Rounds is the number of supersteps executed.
+	Rounds int
+	// Visits is the number of frontier element examinations performed.
+	Visits int64
+	// Marked is the number of edges newly committed.
+	Marked int64
+	// Msgs and Words count the notification traffic under the backend's
+	// exchange semantics. Words is backend-invariant; Msgs is not
+	// (aggregation is the point of the Aggregated backend).
+	Msgs, Words int64
+	// Ops is the engine's abstract work accounting: Total and MemTotal
+	// are worker-invariant, Crit/MemCrit reflect the effective worker
+	// count of each round's scan.
+	Ops Ops
+}
+
+// Propagator drives frontier propagation to a fixpoint with a specific
+// exchange model. Implementations must be deterministic at every worker
+// count: marks, rounds, traffic, and the modeled clock may depend only on
+// the frontier and the world, never on the chunking.
+type Propagator interface {
+	// Name is the CLI-facing backend name.
+	Name() string
+	// Run propagates from the initial frontier (any order, duplicates
+	// allowed; the engine canonicalizes) until no round commits a mark,
+	// charging per-round visit work and notification traffic to clk with
+	// a barrier after every round. It takes ownership of the frontier
+	// slice.
+	Run(w World, frontier []int32, clk *machine.Clock, mdl machine.Model) Result
+	// ChargeExchange charges one bulk exchange of shared-object
+	// notifications under the backend's message model, given the
+	// per-(src, dst) word counts in canonical sorted order (see
+	// AggregatePairs), and returns the messages and words counted. It
+	// does not barrier; callers own the superstep structure.
+	ChargeExchange(clk *machine.Clock, mdl machine.Model, pairs []PairWords) (msgs, words int64)
+}
+
+// Names lists the available backends, default first — the iteration
+// table for CLI validation and tests.
+var Names = []string{"bulksync", "aggregated"}
+
+// ByName returns the propagator with the given CLI name ("" selects the
+// default BulkSync) at the given worker knob.
+func ByName(name string, workers int) (Propagator, bool) {
+	switch name {
+	case "", "bulksync":
+		return NewBulkSync(workers), true
+	case "aggregated":
+		return NewAggregated(workers), true
+	}
+	return nil, false
+}

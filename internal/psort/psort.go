@@ -18,9 +18,10 @@
 package psort
 
 import (
-	"runtime"
 	"slices"
 	"sync"
+
+	"plum/internal/chunk"
 )
 
 // KV is one sortable element: a 64-bit key and its payload index. The
@@ -58,78 +59,15 @@ const SerialCutoff = 1 << 13
 // around n/w) at a negligible serial cost.
 const oversample = 16
 
-// Workers resolves a worker-count knob: values ≤ 0 mean "use
-// runtime.GOMAXPROCS(0)".
-func Workers(n int) int {
-	if n <= 0 {
-		return runtime.GOMAXPROCS(0)
-	}
-	return n
-}
-
-// EffectiveWorkers resolves the worker count a chunked scan actually runs
-// with: the knob via Workers, clamped to 1 below the caller's serial
-// cutoff and to n above it. The refinement and remap subsystems wrap this
-// with their own cutoffs; cost models must divide parallel phases by the
-// resolved figure, not by the raw knob.
-func EffectiveWorkers(n, workers, cutoff int) int {
-	w := Workers(workers)
-	if n < cutoff || w < 1 {
-		return 1
-	}
-	if w > n {
-		w = n
-	}
-	return w
-}
-
-// NumChunks returns the number of contiguous chunks ForChunks will split
-// [0, n) into for the given worker knob: min(Workers(workers), n), at
-// least 1 when n > 0.
-func NumChunks(n, workers int) int {
-	w := Workers(workers)
-	if w > n {
-		w = n
-	}
-	if w < 1 {
-		w = 1
-	}
-	return w
-}
-
-// ForChunks splits [0, n) into NumChunks(n, workers) contiguous
-// near-equal chunks and runs fn(chunk, lo, hi) for each, concurrently when
-// there is more than one. Chunk boundaries depend only on n and the
-// resolved worker count, so callers that reduce per-chunk results merge
-// them in a deterministic order.
-func ForChunks(n, workers int, fn func(chunk, lo, hi int)) {
-	if n <= 0 {
-		return
-	}
-	w := NumChunks(n, workers)
-	if w == 1 {
-		fn(0, 0, n)
-		return
-	}
-	var wg sync.WaitGroup
-	wg.Add(w)
-	for t := 0; t < w; t++ {
-		go func(t int) {
-			defer wg.Done()
-			fn(t, t*n/w, (t+1)*n/w)
-		}(t)
-	}
-	wg.Wait()
-}
-
 // SortWorkers returns the worker count Sort actually uses for n pairs
 // under the given knob: 1 when the serial fallback wins (n below
 // SerialCutoff or a resolved knob of 1), otherwise the knob clamped so
 // each worker has enough elements to amortize its scatter pass. Cost
 // models must divide the sort's critical path by this figure, not by the
-// raw knob.
+// raw knob. The worker-resolution and range-splitting helpers this sort
+// once hosted live in internal/chunk now, shared by every chunked scan.
 func SortWorkers(n, workers int) int {
-	w := Workers(workers)
+	w := chunk.Workers(workers)
 	if max := n / (SerialCutoff / 8); w > max {
 		w = max
 	}
@@ -268,13 +206,13 @@ func bucketOf(x KV, splitters []KV) int {
 // ordering semantics. keys is not modified.
 func SortIndexByKey(keys []uint64, idx []int32, workers int) {
 	kvs := make([]KV, len(idx))
-	ForChunks(len(idx), workers, func(_, lo, hi int) {
+	chunk.For(len(idx), workers, func(_, lo, hi int) {
 		for i := lo; i < hi; i++ {
 			kvs[i] = KV{K: keys[idx[i]], V: idx[i]}
 		}
 	})
 	Sort(kvs, workers)
-	ForChunks(len(idx), workers, func(_, lo, hi int) {
+	chunk.For(len(idx), workers, func(_, lo, hi int) {
 		for i := lo; i < hi; i++ {
 			idx[i] = kvs[i].V
 		}

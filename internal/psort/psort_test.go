@@ -134,41 +134,6 @@ func TestSortIndexByKey(t *testing.T) {
 	}
 }
 
-func TestWorkersAndNumChunks(t *testing.T) {
-	if Workers(0) < 1 || Workers(-3) < 1 {
-		t.Fatal("Workers must resolve non-positive knobs to ≥ 1")
-	}
-	if Workers(5) != 5 {
-		t.Fatal("Workers must pass positive knobs through")
-	}
-	if NumChunks(3, 8) != 3 {
-		t.Fatalf("NumChunks(3,8) = %d, want 3", NumChunks(3, 8))
-	}
-	if NumChunks(0, 8) != 1 {
-		t.Fatalf("NumChunks(0,8) = %d, want 1", NumChunks(0, 8))
-	}
-}
-
-// TestForChunksCoversRange verifies the chunking is a disjoint exact cover
-// of [0, n).
-func TestForChunksCoversRange(t *testing.T) {
-	for _, n := range []int{0, 1, 7, 100, 1001} {
-		for _, w := range []int{1, 2, 3, 8, 200} {
-			hit := make([]int32, n)
-			ForChunks(n, w, func(_, lo, hi int) {
-				for i := lo; i < hi; i++ {
-					hit[i]++
-				}
-			})
-			for i, h := range hit {
-				if h != 1 {
-					t.Fatalf("n=%d w=%d: index %d covered %d times", n, w, i, h)
-				}
-			}
-		}
-	}
-}
-
 // FuzzSortMatchesReference feeds arbitrary key bytes and worker counts;
 // Sort must always equal the reference sort.
 func FuzzSortMatchesReference(f *testing.F) {

@@ -1,8 +1,8 @@
 package refine
 
 import (
+	"plum/internal/chunk"
 	"plum/internal/dual"
-	"plum/internal/psort"
 )
 
 // BandFM is the deterministic band-limited parallel Fiduccia–Mattheyses
@@ -65,9 +65,9 @@ func (r *BandFM) Refine(g *dual.Graph, asg []int32, k, passes int) Ops {
 			copy(w0, w)
 			ops.AddSerial(int64(k))
 			props := make([]int32, len(class))
-			nc := psort.NumChunks(len(class), ew)
+			nc := chunk.Count(len(class), ew)
 			chunkOps := make([]int64, nc)
-			psort.ForChunks(len(class), ew, func(c, lo, hi int) {
+			chunk.For(len(class), ew, func(c, lo, hi int) {
 				conn := make([]int32, k)
 				var lops int64
 				for i := lo; i < hi; i++ {
@@ -119,10 +119,10 @@ func (r *BandFM) Refine(g *dual.Graph, asg []int32, k, passes int) Ops {
 // chunk order, so the band is identical at every worker count. The
 // adjacency scan breaks at the first cross-part neighbour.
 func extractBand(g *dual.Graph, asg []int32, ew int) (band []int32, ops int64) {
-	nc := psort.NumChunks(g.N, ew)
+	nc := chunk.Count(g.N, ew)
 	parts := make([][]int32, nc)
 	chunkOps := make([]int64, nc)
-	psort.ForChunks(g.N, ew, func(c, lo, hi int) {
+	chunk.For(g.N, ew, func(c, lo, hi int) {
 		var local []int32
 		var lops int64
 		for v := lo; v < hi; v++ {

@@ -3,8 +3,8 @@ package refine
 import (
 	"slices"
 
+	"plum/internal/chunk"
 	"plum/internal/dual"
-	"plum/internal/psort"
 )
 
 // Diffusion is a Jostle-style weighted-diffusion refiner: load flows
@@ -129,10 +129,10 @@ func (d *Diffusion) Refine(g *dual.Graph, asg []int32, k, passes int) Ops {
 // edge scan is chunked; the merge sort-and-compact is deterministic
 // regardless of chunk layout.
 func cutPairs(g *dual.Graph, asg []int32, ew int) (pairs []uint64, ops int64) {
-	nc := psort.NumChunks(g.N, ew)
+	nc := chunk.Count(g.N, ew)
 	parts := make([][]uint64, nc)
 	chunkOps := make([]int64, nc)
-	psort.ForChunks(g.N, ew, func(c, lo, hi int) {
+	chunk.For(g.N, ew, func(c, lo, hi int) {
 		var local []uint64
 		var lops int64
 		for v := lo; v < hi; v++ {
@@ -171,10 +171,10 @@ type flowCand struct {
 // owed the most flow from the vertex's own part (ties to the smallest
 // part id). The flow table is frozen during the scan.
 func flowCandidates(g *dual.Graph, asg []int32, flow map[uint64]int64, ew int) (cands []flowCand, ops int64) {
-	nc := psort.NumChunks(g.N, ew)
+	nc := chunk.Count(g.N, ew)
 	parts := make([][]flowCand, nc)
 	chunkOps := make([]int64, nc)
-	psort.ForChunks(g.N, ew, func(c, lo, hi int) {
+	chunk.For(g.N, ew, func(c, lo, hi int) {
 		var local []flowCand
 		var lops int64
 		for v := lo; v < hi; v++ {

@@ -25,8 +25,8 @@
 package refine
 
 import (
+	"plum/internal/chunk"
 	"plum/internal/dual"
-	"plum/internal/psort"
 )
 
 // Ops is the abstract work accounting of one refinement call, mirroring
@@ -88,7 +88,7 @@ const SerialCutoff = 1 << 12
 // Cost models must divide the parallel phases by this figure, not by the
 // raw knob — the serial fallback must be charged serially.
 func EffectiveWorkers(n, workers int) int {
-	return psort.EffectiveWorkers(n, workers, SerialCutoff)
+	return chunk.EffectiveWorkers(n, workers, SerialCutoff)
 }
 
 // Default returns the backend used when no refiner is forced: the
@@ -129,10 +129,10 @@ func ByName(name string, workers int) (Refiner, bool) {
 // chunked scan (int64 addition is exact, so the chunk-order merge is
 // identical at every worker count), charging the scan at ew workers.
 func partState(g *dual.Graph, asg []int32, k, ew int, ops *Ops) (w []int64, cnt []int) {
-	nc := psort.NumChunks(g.N, ew)
+	nc := chunk.Count(g.N, ew)
 	pw := make([][]int64, nc)
 	pc := make([][]int, nc)
-	psort.ForChunks(g.N, ew, func(c, lo, hi int) {
+	chunk.For(g.N, ew, func(c, lo, hi int) {
 		wloc := make([]int64, k)
 		cloc := make([]int, k)
 		for v := lo; v < hi; v++ {

@@ -16,8 +16,8 @@
 package sfc
 
 import (
+	"plum/internal/chunk"
 	"plum/internal/geom"
-	"plum/internal/psort"
 )
 
 // Bits is the lattice resolution per axis: coordinates are quantized to
@@ -249,7 +249,7 @@ const keysSerialCutoff = 1 << 12
 // models must divide key-generation time by this figure, not by the raw
 // knob.
 func EffectiveKeyWorkers(n, workers int) int {
-	w := psort.Workers(workers)
+	w := chunk.Workers(workers)
 	if w <= 1 || n < keysSerialCutoff {
 		return 1
 	}
@@ -285,13 +285,13 @@ func KeysWorkers(c Curve, pts []geom.Vec3, workers int) []uint64 {
 	}
 
 	// Chunked min/max reduction for the bounding box.
-	boxes := make([]geom.AABB, psort.NumChunks(n, w))
-	psort.ForChunks(n, w, func(chunk, lo, hi int) {
+	boxes := make([]geom.AABB, chunk.Count(n, w))
+	chunk.For(n, w, func(c, lo, hi int) {
 		b := geom.EmptyAABB()
 		for _, p := range pts[lo:hi] {
 			b = b.Extend(p)
 		}
-		boxes[chunk] = b
+		boxes[c] = b
 	})
 	b := geom.EmptyAABB()
 	for _, cb := range boxes {
@@ -301,7 +301,7 @@ func KeysWorkers(c Curve, pts []geom.Vec3, workers int) []uint64 {
 	// Chunked key fill: every write is to a distinct index.
 	q := NewQuantizer(b)
 	keys := make([]uint64, n)
-	psort.ForChunks(n, w, func(_, lo, hi int) {
+	chunk.For(n, w, func(_, lo, hi int) {
 		for i := lo; i < hi; i++ {
 			keys[i] = q.Key(c, pts[i])
 		}
