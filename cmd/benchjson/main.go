@@ -3,7 +3,7 @@
 // JSON, so successive PRs can track the perf trajectory without parsing
 // `go test -bench` text.
 //
-//	go run ./cmd/benchjson                  # writes BENCH_{sfc,adapt,refine,remap}.json
+//	go run ./cmd/benchjson                  # writes BENCH_{sfc,adapt,cycle,refine,remap}.json
 //	go run ./cmd/benchjson -out - -k 32     # SFC JSON to stdout, k=32 cuts
 //
 // Every exhibit is run at workers=1 (the serial baseline) and, when the
@@ -23,6 +23,7 @@ import (
 	"testing"
 
 	"plum/internal/adapt"
+	"plum/internal/core"
 	"plum/internal/dual"
 	"plum/internal/experiments"
 	"plum/internal/geom"
@@ -55,6 +56,10 @@ type Report struct {
 	// Speedups maps exhibit name → ns/op(workers=1) / ns/op(workers=P);
 	// only present when the host has more than one CPU.
 	Speedups map[string]float64 `json:"speedups,omitempty"`
+	// Modeled holds machine-model figures that accompany the wall-time
+	// benches (the overlapped cycle's exposed-cost anatomy); identical at
+	// every worker count by the determinism contract.
+	Modeled map[string]float64 `json:"modeled,omitempty"`
 }
 
 // exhibit is one named benchmark body, parameterized by worker count.
@@ -115,6 +120,7 @@ func main() {
 	refineOut := flag.String("refineout", "BENCH_refine.json", "refinement output path ('-' for stdout, '' to skip)")
 	remapOut := flag.String("remapout", "BENCH_remap.json", "remap execution output path ('-' for stdout, '' to skip)")
 	adaptOut := flag.String("adaptout", "BENCH_adapt.json", "adaption engine output path ('-' for stdout, '' to skip)")
+	cycleOut := flag.String("cycleout", "BENCH_cycle.json", "overlapped-cycle output path ('-' for stdout, '' to skip)")
 	k := flag.Int("k", 16, "partition count for the cut and refinement benches")
 	flag.Parse()
 
@@ -187,6 +193,9 @@ func main() {
 	if *adaptOut != "" {
 		runAdapt(newReport, workerCounts, *adaptOut)
 	}
+	if *cycleOut != "" {
+		runCycle(newReport, workerCounts, *cycleOut)
+	}
 	if *refineOut == "" && *remapOut == "" {
 		return
 	}
@@ -238,6 +247,75 @@ func main() {
 	if *remapOut != "" {
 		runRemap(newReport, m, raw, *k, workerCounts, *remapOut)
 	}
+}
+
+// runCycle measures the full Fig. 1 cycle with the strict barrier chain
+// versus Config.Overlap, on the Box(12,12,12) corner-refinement fixture
+// (the cycle mutates the mesh, so the fixture is rebuilt outside the
+// timer). The wall-time rows compare the two executors on this host; the
+// Modeled map carries the exposed-cost anatomy of one overlapped cycle —
+// the speedup figure the overlap PR claims — which is identical at every
+// worker count.
+func runCycle(newReport func() Report, workerCounts []int, path string) {
+	mkFW := func(w int, overlap bool) *core.Framework {
+		m := meshgen.Box(12, 12, 12, geom.Vec3{X: 1, Y: 1, Z: 1})
+		cfg := core.DefaultConfig(8)
+		cfg.Method = partition.MethodHilbertSFC
+		cfg.Workers = w
+		cfg.Overlap = overlap
+		f, err := core.New(m, nil, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		f.A.MarkRegion(geom.Sphere{Center: geom.Vec3{}, Radius: 0.6}, adapt.MarkRefine)
+		f.A.Refine()
+		return f
+	}
+	mark := func(a *adapt.Adaptor) {
+		a.MarkRegion(geom.Sphere{Center: geom.Vec3{}, Radius: 0.4}, adapt.MarkRefine)
+	}
+	run := func(overlap bool) func(w int, b *testing.B) {
+		return func(w int, b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				f := mkFW(w, overlap)
+				b.StartTimer()
+				r, err := f.Cycle(mark)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !r.Balance.Accepted {
+					b.Fatal("cycle did not accept the remap")
+				}
+			}
+		}
+	}
+	rep := newReport()
+	measure(&rep, []exhibit{
+		{"CycleBulk", run(false)},
+		{"CycleOverlap", run(true)},
+	}, workerCounts)
+
+	f := mkFW(1, true)
+	r, err := f.Cycle(mark)
+	if err != nil {
+		log.Fatal(err)
+	}
+	bal := r.Balance
+	critBulk := r.SolverTime + bal.CostFull
+	critOverlap := r.SolverTime + bal.Cost
+	rep.Modeled = map[string]float64{
+		"solver_s":          r.SolverTime,
+		"cost_full_s":       bal.CostFull,
+		"cost_exposed_s":    bal.Cost,
+		"hidden_s":          bal.OverlapTime,
+		"crit_bulk_s":       critBulk,
+		"crit_overlap_s":    critOverlap,
+		"exposed_speedup":   critBulk / critOverlap,
+		"remap_peak_words":  float64(bal.RemapPeakWords),
+		"remap_total_words": float64(bal.Remap.Moved * par.RecordWords),
+	}
+	write(&rep, path)
 }
 
 // runAdapt measures the parallel adaption engine: one full ParallelRefine

@@ -20,7 +20,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: table1, fig8, fig9, fig10, fig11, fig12, extension, partitioners, remap, adapt, all")
+	exp := flag.String("exp", "all", "experiment to run: table1, fig8, fig9, fig10, fig11, fig12, extension, partitioners, remap, adapt, overlap, all")
 	k := flag.Int("k", 16, "partition count for -exp partitioners")
 	workers := flag.Int("workers", 0, "worker goroutines for parallel partitioning, refinement, and adaption phases (0 = GOMAXPROCS)")
 	refiner := flag.String("refiner", "", "boundary-refinement backend for -exp partitioners: "+strings.Join(refine.Names, ", ")+" ('' = per-backend default)")
@@ -53,6 +53,7 @@ func main() {
 		{"partitioners", func() fmt.Stringer { return experiments.RunPartitionerTable(*k, *workers, *refiner) }},
 		{"remap", func() fmt.Stringer { return experiments.RunRemapExecTable(*workers) }},
 		{"adapt", func() fmt.Stringer { return experiments.RunAdaptTable(*workers, *propg) }},
+		{"overlap", func() fmt.Stringer { return experiments.RunOverlapTable(*workers) }},
 	}
 
 	ran := false

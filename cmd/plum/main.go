@@ -20,6 +20,7 @@ import (
 	"plum/internal/core"
 	"plum/internal/geom"
 	"plum/internal/meshgen"
+	"plum/internal/par"
 	"plum/internal/partition"
 	"plum/internal/propagate"
 	"plum/internal/refine"
@@ -42,6 +43,7 @@ func main() {
 		propg   = flag.String("propagator", "", "adaption frontier-propagation backend: bulksync, aggregated (default: bulksync)")
 		seed    = flag.Int64("seed", 1, "random seed")
 		workers = flag.Int("workers", 0, "worker goroutines for parallel partitioning and refinement phases (0 = GOMAXPROCS)")
+		overlap = flag.Bool("overlap", false, "hide the balance pipeline behind the solver iterations and stream the remap payload one flow window at a time")
 		scale   = flag.Float64("scale", 1.0, "mesh scale factor (1.0 = paper's 61k elements)")
 		verbose = flag.Bool("v", false, "print adaption phase breakdowns")
 	)
@@ -52,6 +54,7 @@ func main() {
 	cfg.ImbalanceThreshold = *thresh
 	cfg.Seed = *seed
 	cfg.Workers = *workers
+	cfg.Overlap = *overlap
 	switch *mapper {
 	case "heuristic":
 		cfg.Mapper = core.MapperHeuristic
@@ -98,8 +101,8 @@ func main() {
 		refName = "auto"
 	}
 	propName, _ := propagate.ByName(cfg.Propagator, cfg.Workers)
-	fmt.Printf("config: P=%d F=%d threshold=%.2f mapper=%s partitioner=%s refiner=%s propagator=%s workers=%d\n",
-		cfg.P, cfg.F, cfg.ImbalanceThreshold, cfg.Mapper, cfg.Method, refName, propName.Name(), chunk.Workers(cfg.Workers))
+	fmt.Printf("config: P=%d F=%d threshold=%.2f mapper=%s partitioner=%s refiner=%s propagator=%s workers=%d overlap=%v\n",
+		cfg.P, cfg.F, cfg.ImbalanceThreshold, cfg.Mapper, cfg.Method, refName, propName.Name(), chunk.Workers(cfg.Workers), cfg.Overlap)
 
 	var stratFn func(a *adapt.Adaptor)
 	switch *strat {
@@ -158,6 +161,13 @@ func main() {
 					fmt.Printf(" pack=%.3gs comm=%.3gs rebuild=%.3gs", b.Remap.PackTime, b.Remap.CommTime, b.Remap.RebuildTime)
 				}
 				fmt.Println()
+				if cfg.Overlap {
+					fmt.Printf("         overlap hidden=%.3gs cost full=%.3gs exposed=%.3gs", b.OverlapTime, b.CostFull, b.Cost)
+					if b.Accepted {
+						fmt.Printf(" peak=%d/%d words", b.RemapPeakWords, b.Remap.Moved*par.RecordWords)
+					}
+					fmt.Println()
+				}
 			}
 		}
 	}

@@ -10,6 +10,7 @@ package core
 
 import (
 	"fmt"
+	"slices"
 
 	"plum/internal/adapt"
 	"plum/internal/dual"
@@ -78,6 +79,26 @@ type Config struct {
 	// exchange) or "aggregated" (per-rank message aggregation for high
 	// processor counts). "" selects bulksync. See internal/propagate.
 	Propagator string
+	// SolverIters is the number of proxy flow-solver iterations each
+	// cycle runs before adaption, and the multiplier of the modeled
+	// CycleReport.SolverTime — a single knob so the proxy solve and the
+	// modeled cost can never silently disagree (Cycle used to hardcode
+	// Iterate(3) while SolverTime modeled the cost model's Nadapt
+	// iterations). 0 selects the default of 3; negative is rejected by
+	// New.
+	SolverIters int
+	// Overlap hides the balance pipeline behind the solver, the paper's
+	// latency-tolerance argument: the repartition + reassignment +
+	// remap-execution critical path runs concurrently with the modeled
+	// solver iterations on the machine clock, the acceptance rule charges
+	// only the exposed (post-overlap) cost, and the remap executes
+	// through the streaming executor (par.ExecuteRemapStreaming), which
+	// bounds peak payload memory to one flow window. False keeps the
+	// paper-faithful strict barrier chain and the bulk-synchronous remap.
+	// Either way every result byte is identical — overlap changes what
+	// the machine clock charges and how the host buffers the payload,
+	// never the partitions, owners, or payload bytes.
+	Overlap bool
 	// PreAdapt uniformly refines the mesh this many times before the
 	// dual graph is built, then rebases the refinement history — the
 	// paper's remedy when the initial mesh is too small for good
@@ -105,6 +126,7 @@ func DefaultConfig(p int) Config {
 		Model:              machine.SP2(),
 		Cost:               remap.DefaultSP2(),
 		Seed:               1,
+		SolverIters:        3,
 	}
 }
 
@@ -183,6 +205,12 @@ func (f *Framework) repartition(k int) (partition.Assignment, partition.Ops) {
 func New(m *mesh.Mesh, sol *solver.Solver, cfg Config) (*Framework, error) {
 	if cfg.P < 1 || cfg.F < 1 {
 		return nil, fmt.Errorf("core: invalid P=%d F=%d", cfg.P, cfg.F)
+	}
+	if cfg.SolverIters < 0 {
+		return nil, fmt.Errorf("core: invalid SolverIters=%d", cfg.SolverIters)
+	}
+	if cfg.SolverIters == 0 {
+		cfg.SolverIters = 3
 	}
 	if _, ok := refine.ByName(cfg.Refiner, cfg.Workers); !ok {
 		return nil, fmt.Errorf("core: unknown refiner %q (have %v)", cfg.Refiner, refine.Names)
@@ -328,9 +356,29 @@ type BalanceReport struct {
 	AdaptCritOps  int64
 	AdaptExecTime float64
 	// Gain and Cost are the two sides of the acceptance test; Accepted
-	// reports whether the remap was executed.
+	// reports whether the remap was executed. Cost is the *exposed* cost:
+	// CostFull minus OverlapTime. Without overlap the two are equal.
 	Gain, Cost float64
 	Accepted   bool
+	// CostFull is the serial (non-overlapped) cost side: the paper's
+	// redistribution terms plus the measured repartition, reassignment,
+	// and remap-execution overheads. It is what the acceptance rule
+	// charges when Config.Overlap is off.
+	CostFull float64
+	// OverlapTime is the portion of the balance pipeline's critical path
+	// (repartition + reassignment + remap execution) hidden behind the
+	// cycle's modeled solver iterations when Config.Overlap is on:
+	// min(SolverTime, pipeline). The wire redistribution itself
+	// (C·M·Tlat + N·Tsetup) stays exposed — element state can only move
+	// once the overlapped iterations have finished with it. Zero when
+	// overlap is off or when Balance runs outside a cycle (no solve to
+	// hide behind).
+	OverlapTime float64
+	// RemapPeakWords is the executed remap's host-side payload
+	// high-water mark in record words (par.RemapResult.PeakWords): the
+	// whole buffer on the bulk-synchronous executor, the largest
+	// in-flight window on the streaming one. Zero when not accepted.
+	RemapPeakWords int64
 	// Remap holds the executed migration (zero when not accepted).
 	Remap par.RemapResult
 }
@@ -340,13 +388,22 @@ type BalanceReport struct {
 // are adequately balanced, or when the redistribution cost exceeds the
 // expected gain, the mesh distribution is left untouched (the paper
 // discards the new partitioning in that case).
-func (f *Framework) Balance() (BalanceReport, error) {
+//
+// A standalone Balance has no solver phase to hide behind, so even with
+// Config.Overlap the acceptance rule charges the full cost (OverlapTime
+// is zero); Cycle passes its modeled solver time as the overlap window.
+func (f *Framework) Balance() (BalanceReport, error) { return f.balance(0) }
+
+// balance is the pipeline with an explicit overlap window: the modeled
+// solver time the balance pipeline may hide behind when Config.Overlap is
+// on.
+func (f *Framework) balance(window float64) (BalanceReport, error) {
 	var rep BalanceReport
 	f.G.UpdateWeights(f.M)
 	loads := f.Loads()
 	rep.ImbalanceBefore = par.ImbalanceFactor(loads)
 	rep.ImbalanceAfter = rep.ImbalanceBefore
-	rep.WmaxOld = maxOf(loads)
+	rep.WmaxOld = slices.Max(loads)
 	if rep.ImbalanceBefore <= f.Cfg.ImbalanceThreshold {
 		return rep, nil
 	}
@@ -382,7 +439,7 @@ func (f *Framework) Balance() (BalanceReport, error) {
 	for v, p := range newPart {
 		newLoads[mp[p]] += f.G.Wcomp[v]
 	}
-	rep.WmaxNew = maxOf(newLoads)
+	rep.WmaxNew = slices.Max(newLoads)
 	rep.ImbalanceAfter = par.ImbalanceFactor(newLoads)
 
 	// Gain/cost decision. The cost side carries the measured balancing
@@ -399,8 +456,15 @@ func (f *Framework) Balance() (BalanceReport, error) {
 	rep.RemapCritOps = remapOps.Crit
 	rep.RemapExecTime = remapOps.Time(f.Cfg.Model)
 	rep.Gain = f.Cfg.Cost.Gain(rep.WmaxOld, rep.WmaxNew)
-	rep.Cost = f.Cfg.Cost.RedistCost(rep.MoveC, rep.MoveN) +
-		rep.RepartitionTime + rep.ReassignTime + rep.RemapExecTime
+	pipeline := rep.RepartitionTime + rep.ReassignTime + rep.RemapExecTime
+	rep.CostFull = f.Cfg.Cost.RedistCost(rep.MoveC, rep.MoveN) + pipeline
+	if f.Cfg.Overlap {
+		// Latency tolerance: the CPU-side pipeline hides behind the
+		// solver iterations; only the exposed remainder delays the
+		// solution. The wire redistribution stays exposed.
+		rep.OverlapTime = min(window, pipeline)
+	}
+	rep.Cost = rep.CostFull - rep.OverlapTime
 	// This comparison is remap.CostModel.WorthwhileTotal applied to the
 	// reported quantities, so the report can never drift from the decision.
 	if rep.Gain <= rep.Cost {
@@ -409,23 +473,35 @@ func (f *Framework) Balance() (BalanceReport, error) {
 	}
 	rep.Accepted = true
 
-	// Execute the remap: ownership follows the accepted mapping.
+	// Execute the remap: ownership follows the accepted mapping. The
+	// overlapped cycle streams the payload one flow window at a time;
+	// the paper-faithful baseline keeps the bulk-synchronous exchange.
+	// Both produce byte-identical results up to PeakWords.
 	newOwner := make([]int32, len(newPart))
 	for v, p := range newPart {
 		newOwner[v] = mp[p]
 	}
-	res, err := f.D.ExecuteRemap(newOwner, f.Cfg.Model)
+	var res par.RemapResult
+	var err error
+	if f.Cfg.Overlap {
+		res, err = f.D.ExecuteRemapStreaming(newOwner, f.Cfg.Model)
+	} else {
+		res, err = f.D.ExecuteRemap(newOwner, f.Cfg.Model)
+	}
 	if err != nil {
 		return rep, err
 	}
 	rep.Remap = res
+	rep.RemapPeakWords = res.PeakWords
 	return rep, nil
 }
 
 // CycleReport records one full solution/adaption cycle.
 type CycleReport struct {
-	// SolverTime is the modeled time of the Nadapt solver iterations
-	// preceding adaption under the pre-adaption loads.
+	// SolverTime is the modeled time of the Config.SolverIters solver
+	// iterations preceding adaption under the pre-adaption loads — the
+	// same iteration count the proxy solver actually runs, and the window
+	// the balance pipeline may hide behind when Config.Overlap is on.
 	SolverTime float64
 	// Refine holds the adaption statistics.
 	Refine adapt.RefineStats
@@ -437,20 +513,25 @@ type CycleReport struct {
 
 // Cycle executes one pass of the paper's Fig. 1 loop: flow solution, edge
 // marking via the supplied function, parallel mesh adaption, solution
-// transfer, and the balance pipeline.
+// transfer, and the balance pipeline. With Config.Overlap on, the balance
+// pipeline's CPU-side critical path is modeled as running concurrently
+// with the solver iterations, and the acceptance rule charges only the
+// exposed remainder.
 func (f *Framework) Cycle(mark func(*adapt.Adaptor)) (CycleReport, error) {
 	var rep CycleReport
 	loads := f.Loads()
-	rep.SolverTime = f.Cfg.Cost.SolverTime(maxOf(loads))
+	rep.SolverTime = f.Cfg.Cost.SolverTimeIters(slices.Max(loads), f.Cfg.SolverIters)
 	if f.S != nil {
-		f.S.Iterate(3) // the proxy solve that produces the error field
+		// The proxy solve that produces the error field, running exactly
+		// the iterations SolverTime modeled (one knob, see Config).
+		f.S.Iterate(f.Cfg.SolverIters)
 	}
 	mark(f.A)
 	rep.Refine, rep.AdaptTime = f.D.ParallelRefine(f.A, f.Cfg.Model)
 	if f.S != nil {
 		f.S.SyncAfterAdaption()
 	}
-	bal, err := f.Balance()
+	bal, err := f.balance(rep.SolverTime)
 	if err != nil {
 		return rep, err
 	}
@@ -477,14 +558,4 @@ func SolverImprovement(wmaxUnbalanced, wmaxBalanced int64) float64 {
 // refined: 8P/(P+7).
 func ImprovementBound(p int) float64 {
 	return 8 * float64(p) / (float64(p) + 7)
-}
-
-func maxOf(xs []int64) int64 {
-	var m int64
-	for _, x := range xs {
-		if x > m {
-			m = x
-		}
-	}
-	return m
 }

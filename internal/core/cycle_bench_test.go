@@ -1,0 +1,54 @@
+package core
+
+import (
+	"testing"
+
+	"plum/internal/adapt"
+	"plum/internal/geom"
+	"plum/internal/meshgen"
+	"plum/internal/partition"
+)
+
+// cycleBenchFW builds the Box(12,12,12) cycle fixture: a pre-refined
+// corner so the cycle's adaption triggers an accepted remap, the Hilbert
+// repartitioner on the incremental path.
+func cycleBenchFW(b *testing.B, overlap bool) *Framework {
+	b.Helper()
+	m := meshgen.Box(12, 12, 12, geom.Vec3{X: 1, Y: 1, Z: 1})
+	cfg := DefaultConfig(8)
+	cfg.Method = partition.MethodHilbertSFC
+	cfg.Overlap = overlap
+	f, err := New(m, nil, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	f.A.MarkRegion(geom.Sphere{Center: geom.Vec3{}, Radius: 0.6}, adapt.MarkRefine)
+	f.A.Refine()
+	return f
+}
+
+func benchCycle(b *testing.B, overlap bool) {
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		f := cycleBenchFW(b, overlap) // the cycle mutates the mesh: fresh fixture each pass
+		b.StartTimer()
+		rep, err := f.Cycle(func(a *adapt.Adaptor) {
+			a.MarkRegion(geom.Sphere{Center: geom.Vec3{}, Radius: 0.4}, adapt.MarkRefine)
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !rep.Balance.Accepted {
+			b.Fatal("cycle did not accept the remap")
+		}
+	}
+}
+
+// BenchmarkCycleBulk runs the full Fig. 1 cycle with the strict barrier
+// chain and the bulk-synchronous remap executor.
+func BenchmarkCycleBulk(b *testing.B) { benchCycle(b, false) }
+
+// BenchmarkCycleOverlap runs the same cycle with Config.Overlap on: the
+// acceptance rule charges only the exposed cost and the remap streams
+// through the windowed executor.
+func BenchmarkCycleOverlap(b *testing.B) { benchCycle(b, true) }

@@ -10,6 +10,7 @@ package experiments
 
 import (
 	"fmt"
+	"slices"
 	"strings"
 	"sync"
 
@@ -148,14 +149,21 @@ func RunFig8() *Fig8 {
 	return f
 }
 
-// String renders both panels as text tables.
+// String renders both panels as text tables. The panels are a fixed-order
+// slice, not a map: ranging over a map literal rendered (a) and (b) in
+// random order run to run, so the report was not byte-stable.
 func (f *Fig8) String() string {
 	var b strings.Builder
-	for panel, sel := range map[string]func(Fig8Point) float64{
-		"(a) refinement": func(p Fig8Point) float64 { return p.SpeedupR },
-		"(b) coarsening": func(p Fig8Point) float64 { return p.SpeedupC },
-	} {
-		fmt.Fprintf(&b, "Fig 8%s: speedup of parallel mesh adaption\n", panel)
+	panels := []struct {
+		name string
+		sel  func(Fig8Point) float64
+	}{
+		{"(a) refinement", func(p Fig8Point) float64 { return p.SpeedupR }},
+		{"(b) coarsening", func(p Fig8Point) float64 { return p.SpeedupC }},
+	}
+	for _, panel := range panels {
+		sel := panel.sel
+		fmt.Fprintf(&b, "Fig 8%s: speedup of parallel mesh adaption\n", panel.name)
 		fmt.Fprintf(&b, "%6s", "P")
 		for _, s := range adapt.Strategies {
 			fmt.Fprintf(&b, "%12s", s)
@@ -250,7 +258,7 @@ func runBalancePipeline(s adapt.Strategy, p, fgran int, optimal bool, mdl machin
 	for v, o := range d.Owners() {
 		loads[o] += g.Wcomp[v]
 	}
-	res.WmaxOld = maxI64(loads)
+	res.WmaxOld = slices.Max(loads)
 
 	newPart := partition.Partition(g, p*fgran, partition.MethodInertial)
 	sim := remap.Build(d.Owners(), newPart, g.Wremap, p, fgran)
@@ -268,7 +276,7 @@ func runBalancePipeline(s adapt.Strategy, p, fgran int, optimal bool, mdl machin
 	for v, part := range newPart {
 		newLoads[mp[part]] += g.Wcomp[v]
 	}
-	res.WmaxNew = maxI64(newLoads)
+	res.WmaxNew = slices.Max(newLoads)
 
 	newOwner := make([]int32, len(newPart))
 	for v, part := range newPart {
@@ -280,16 +288,6 @@ func runBalancePipeline(s adapt.Strategy, p, fgran int, optimal bool, mdl machin
 	}
 	res.RemapTime = rr.Total
 	return res
-}
-
-func maxI64(xs []int64) int64 {
-	var m int64
-	for _, x := range xs {
-		if x > m {
-			m = x
-		}
-	}
-	return m
 }
 
 // ---------------------------------------------------------------- Fig. 10

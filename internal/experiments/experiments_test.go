@@ -291,6 +291,44 @@ func TestRemapExecTableClaims(t *testing.T) {
 	}
 }
 
+// TestTableStringsStable is the byte-stability regression for the report
+// renderers: repeated String() calls on the same data must produce
+// identical bytes with the panels in their fixed order. Fig8.String()
+// used to range over a map literal of panels, so (a) and (b) swapped at
+// random between runs.
+func TestTableStringsStable(t *testing.T) {
+	f := &Fig8{Curves: map[adapt.Strategy][]Fig8Point{}}
+	for i, s := range adapt.Strategies {
+		f.Curves[s] = []Fig8Point{
+			{P: 1, SpeedupR: 1, SpeedupC: 1},
+			{P: 2, SpeedupR: float64(i + 2), SpeedupC: float64(i + 3)},
+		}
+	}
+	ref := f.String()
+	ia := strings.Index(ref, "(a) refinement")
+	ib := strings.Index(ref, "(b) coarsening")
+	if ia < 0 || ib < 0 || ia > ib {
+		t.Fatalf("panels missing or out of order: (a)@%d (b)@%d", ia, ib)
+	}
+	for i := 0; i < 50; i++ {
+		if got := f.String(); got != ref {
+			t.Fatalf("Fig8.String() not byte-stable on call %d:\n%q\nvs\n%q", i, got, ref)
+		}
+	}
+
+	ov := &OverlapTable{Rows: []OverlapRow{
+		{P: 8, Workers: 1, Solver: 0.5, Pipeline: 0.1, Redist: 0.4,
+			CritBulk: 1, CritOverlap: 0.9, Hidden: 0.1, Speedup: 1.11,
+			PeakWords: 100, TotalWords: 600, Accepted: true},
+	}}
+	ovRef := ov.String()
+	for i := 0; i < 10; i++ {
+		if ov.String() != ovRef {
+			t.Fatalf("OverlapTable.String() not byte-stable on call %d", i)
+		}
+	}
+}
+
 func TestBaseMeshIsolated(t *testing.T) {
 	// Clones must be independent: adapting one clone must not leak into
 	// the next.

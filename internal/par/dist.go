@@ -45,6 +45,14 @@ type Dist struct {
 	// means BulkSync at the Dist's worker knob.
 	Prop propagate.Propagator
 
+	// RemapWindow bounds the streaming remap executor's in-flight payload
+	// window, in record words. ≤ 0 selects the adaptive default: the
+	// larger of the biggest single flow and an eighth of the total
+	// payload (see windowBudget). The window plan depends only on the
+	// canonical flow layout and this budget, never on Workers, so
+	// ExecuteRemapStreaming stays byte-identical at any worker count.
+	RemapWindow int64
+
 	// owner[i] is the processor owning dual vertex i (level-0 element
 	// tree i, in dual.Build scan order).
 	owner []int32

@@ -48,7 +48,10 @@ func (d *Dist) Finalize(mdl machine.Model) (FinalizeResult, error) {
 		if c.Rank() != 0 {
 			return
 		}
-		seen := make(map[int64]bool)
+		// Element ids index the slab, so a flat bitset replaces the old
+		// map[int64]bool — the host-side duplicate check no longer
+		// reallocates (or hashes) on large meshes.
+		seen := make([]bool, len(m.Elems))
 		var n int64
 		for _, data := range out {
 			if len(data)%recWords != 0 {
@@ -56,6 +59,9 @@ func (d *Dist) Finalize(mdl machine.Model) (FinalizeResult, error) {
 			}
 			for k := 0; k < len(data); k += recWords {
 				id := data[k]
+				if id < 0 || id >= int64(len(seen)) {
+					panic(fmt.Sprintf("par: gathered element id %d out of range", id))
+				}
 				if seen[id] {
 					panic(fmt.Sprintf("par: element %d gathered twice", id))
 				}

@@ -58,6 +58,27 @@ func BenchmarkExecuteRemap(b *testing.B) {
 	}
 }
 
+// BenchmarkExecuteRemapStreaming measures the windowed executor against
+// the bulk path above on the same fixture: identical RemapResult, but the
+// payload is packed and exchanged one flow window at a time, so the
+// in-flight buffer peaks at the adaptive window budget instead of the
+// whole migration.
+func BenchmarkExecuteRemapStreaming(b *testing.B) {
+	mdl := machine.SP2()
+	for _, bw := range benchRemapWorkers() {
+		d, orig, newOwner := remapBenchFixture(8)
+		d.Workers = bw
+		b.Run(fmt.Sprintf("workers=%d", bw), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				d.SetOwners(orig)
+				if _, err := d.ExecuteRemapStreaming(newOwner, mdl); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkInitScan measures the chunked shared-object analysis (edge and
 // vertex SPL probes plus the local-subgrid census), serial versus the
 // worker pool.

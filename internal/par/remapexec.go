@@ -20,6 +20,15 @@ type RemapResult struct {
 	// WordsMoved is the modeled data volume: Moved × ElemWords plus the
 	// shared-structure perturbation.
 	WordsMoved int64
+	// PeakWords is the high-water mark of the host-side payload buffer,
+	// in record words (Moved × RecordWords is the total). The
+	// bulk-synchronous executor materializes every flow at once, so it
+	// reports the total; the streaming executor packs, exchanges, and
+	// verifies one window of flows at a time, so its peak is the largest
+	// window — strictly below the total on multi-flow workloads. The
+	// figure is computed from the canonical flow layout, never from live
+	// goroutine scheduling, so it is deterministic at any worker count.
+	PeakWords int64
 	// PackTime, CommTime, RebuildTime decompose the modeled remapping
 	// overhead; Total is the slowest-rank end-to-end time.
 	PackTime, CommTime, RebuildTime, Total float64
@@ -49,6 +58,11 @@ type RemapResult struct {
 // rather than re-linking the shared ground-truth mesh, which stays
 // authoritative — "all appropriate mesh objects are sent to their new host
 // processor, accurately modeling the communication phase".
+//
+// This is the bulk-synchronous executor: the whole record buffer is
+// materialized before anything is exchanged, so PeakWords equals the
+// total payload. ExecuteRemapStreaming produces the identical result with
+// one window of payload in flight at a time.
 func (d *Dist) ExecuteRemap(newOwner []int32, mdl machine.Model) (RemapResult, error) {
 	if len(newOwner) != len(d.owner) {
 		return RemapResult{}, fmt.Errorf("par: newOwner has %d entries, want %d", len(newOwner), len(d.owner))
@@ -91,24 +105,39 @@ func (d *Dist) ExecuteRemap(newOwner []int32, mdl machine.Model) (RemapResult, e
 		return RemapResult{}, fmt.Errorf("par: moved %d elements but received %d", pl.moved, recvTotal)
 	}
 
-	// Machine-model accounting (bulk-synchronous: all sends, then all
-	// receives). The modeled volume uses the cost model's M words per
-	// element plus a small shared-structure term proportional to the
-	// number of flows (partition-boundary data is a small percentage and
-	// causes the slight perturbations the paper notes). The pack side is
-	// chunked over source ranks and the unpack side over destination
-	// ranks: every rank's flows form a contiguous stripe of the canonical
-	// layout handled by exactly one chunk, so the per-rank float sums are
-	// bit-identical at every worker count. The worker count is resolved
-	// against the p² flow table these loops actually walk — at practical
-	// rank counts that is far below SerialCutoff, so ForChunks takes its
-	// inline single-chunk path and no goroutines are spawned for a few
-	// thousand scalar adds (PredictRemapOps charges this phase serially).
 	res := RemapResult{
-		Moved: pl.moved,
-		Sets:  pl.sets,
-		Ops:   PredictRemapOps(len(m.Elems), pl.moved, pl.sets, p, d.Workers),
+		Moved:     pl.moved,
+		Sets:      pl.sets,
+		PeakWords: pl.moved * recWords, // the whole buffer is in flight at once
+		Ops:       PredictRemapOps(len(m.Elems), pl.moved, pl.sets, p, d.Workers),
 	}
+	d.accountRemap(pl.flowStart, mdl, &res)
+
+	copy(d.owner, newOwner)
+	return res, nil
+}
+
+// accountRemap fills the machine-model side of a RemapResult — WordsMoved,
+// PackTime, CommTime, RebuildTime, Total — from the canonical flow layout.
+// Both executors charge the same bulk-synchronous superstep model (all
+// sends, then all receives): the streaming executor changes how the host
+// materializes and exchanges the payload, not the machine being modeled,
+// which is what keeps its RemapResult byte-identical to the bulk path.
+//
+// The modeled volume uses the cost model's M words per element plus a
+// small shared-structure term proportional to the number of flows
+// (partition-boundary data is a small percentage and causes the slight
+// perturbations the paper notes). The pack side is chunked over source
+// ranks and the unpack side over destination ranks: every rank's flows
+// form a contiguous stripe of the canonical layout handled by exactly one
+// chunk, so the per-rank float sums are bit-identical at every worker
+// count. The worker count is resolved against the p² flow table these
+// loops actually walk — at practical rank counts that is far below
+// SerialCutoff, so chunk.For takes its inline single-chunk path and no
+// goroutines are spawned for a few thousand scalar adds (PredictRemapOps
+// charges this phase serially).
+func (d *Dist) accountRemap(flowStart []int64, mdl machine.Model, res *RemapResult) {
+	p := d.P
 	acctW := EffectiveWorkers(p*p, d.Workers)
 	sendWords := make([]int64, p)
 	recvWords := make([]int64, p)
@@ -118,7 +147,7 @@ func (d *Dist) ExecuteRemap(newOwner []int32, mdl machine.Model) (RemapResult, e
 	chunk.For(p, acctW, func(_, lo, hi int) {
 		for src := lo; src < hi; src++ {
 			for dst := 0; dst < p; dst++ {
-				elems := pl.flowStart[src*p+dst+1] - pl.flowStart[src*p+dst]
+				elems := flowStart[src*p+dst+1] - flowStart[src*p+dst]
 				if elems == 0 {
 					continue
 				}
@@ -133,7 +162,7 @@ func (d *Dist) ExecuteRemap(newOwner []int32, mdl machine.Model) (RemapResult, e
 	chunk.For(p, acctW, func(_, lo, hi int) {
 		for dst := lo; dst < hi; dst++ {
 			for src := 0; src < p; src++ {
-				elems := pl.flowStart[src*p+dst+1] - pl.flowStart[src*p+dst]
+				elems := flowStart[src*p+dst+1] - flowStart[src*p+dst]
 				if elems == 0 {
 					continue
 				}
@@ -159,7 +188,4 @@ func (d *Dist) ExecuteRemap(newOwner []int32, mdl machine.Model) (RemapResult, e
 	clk.Barrier()
 	res.RebuildTime = clk.Elapsed() - res.CommTime - res.PackTime
 	res.Total = clk.Elapsed()
-
-	copy(d.owner, newOwner)
-	return res, nil
 }

@@ -20,6 +20,12 @@ import (
 // payload exchange: (dualVertex, v0..v3, level).
 const recWords = 6
 
+// RecordWords is the exported size of one migrating element record, in
+// words — Moved × RecordWords is the total payload-buffer volume a remap
+// would materialize, the figure RemapResult.PeakWords is bounded by (and,
+// on the streaming executor, strictly below on multi-flow workloads).
+const RecordWords = recWords
+
 // SerialCutoff is the object count below which the chunked remap scatter
 // and the shared-object scans (Init, RankLoads) fall back to a serial
 // loop: under ~8k objects the chunk bookkeeping costs more than the
@@ -55,12 +61,31 @@ func (pl *flowPlan) flowRecs(f int) []int64 {
 	return pl.recs[pl.flowStart[f]*recWords : pl.flowStart[f+1]*recWords]
 }
 
-// collectFlows builds the CSR scatter for a remap from owner to newOwner
-// over p ranks with ew workers. An element migrates when it is live, its
-// root is a dual vertex, and that vertex changes owner; its whole
-// refinement tree moves with it (the paper's Wremap rationale), which is
-// why the scan walks the element slab rather than the dual vertices.
-func collectFlows(m *mesh.Mesh, rootDual, owner, newOwner []int32, p, ew int) flowPlan {
+// flowIndex is the payload-free half of the CSR scatter: the migrating
+// elements' slab indices grouped by flow in canonical (src, dst) order,
+// ascending element id within a flow. It is an eighth the size of the
+// record buffer (one int32 per element instead of recWords int64), which
+// is what lets the streaming executor bound payload memory to one window
+// while still packing every flow's records in the canonical order.
+type flowIndex struct {
+	// elems holds the moved elements' slab indices, grouped by flow.
+	elems []int32
+	// flowStart has p·p+1 entries of record offsets; flow f = src·p + dst
+	// owns indices [flowStart[f], flowStart[f+1]). Diagonal flows
+	// (src == dst) are always empty.
+	flowStart []int64
+	// moved is the total record count; sets the number of nonempty flows.
+	moved int64
+	sets  int
+}
+
+// collectFlowIndex builds the CSR flow index for a remap from owner to
+// newOwner over p ranks with ew workers. An element migrates when it is
+// live, its root is a dual vertex, and that vertex changes owner; its
+// whole refinement tree moves with it (the paper's Wremap rationale),
+// which is why the scan walks the element slab rather than the dual
+// vertices.
+func collectFlowIndex(m *mesh.Mesh, rootDual, owner, newOwner []int32, p, ew int) flowIndex {
 	n := len(m.Elems)
 	nf := p * p
 	// flowOf classifies element i, returning a negative value for
@@ -97,28 +122,29 @@ func collectFlows(m *mesh.Mesh, rootDual, owner, newOwner []int32, p, ew int) fl
 	// Prefix sum — flows laid out in canonical order, chunks in input
 	// order within each flow, so concatenation reproduces the global
 	// element order regardless of the chunk count.
-	pl := flowPlan{flowStart: make([]int64, nf+1)}
+	fi := flowIndex{flowStart: make([]int64, nf+1)}
 	cursor := make([][]int64, nc)
 	for c := range cursor {
 		cursor[c] = make([]int64, nf)
 	}
 	var pos int64
 	for f := 0; f < nf; f++ {
-		pl.flowStart[f] = pos
+		fi.flowStart[f] = pos
 		for c := 0; c < nc; c++ {
 			cursor[c][f] = pos
 			pos += int64(counts[c][f])
 		}
-		if pos > pl.flowStart[f] {
-			pl.sets++
+		if pos > fi.flowStart[f] {
+			fi.sets++
 		}
 	}
-	pl.flowStart[nf] = pos
-	pl.moved = pos
+	fi.flowStart[nf] = pos
+	fi.moved = pos
 
-	// Pass 2 — parallel fill. Every (chunk, flow) region is disjoint, so
-	// the scatter needs no locks and allocates nothing per element.
-	pl.recs = make([]int64, pos*recWords)
+	// Pass 2 — parallel index fill. Every (chunk, flow) region is
+	// disjoint, so the scatter needs no locks and allocates nothing per
+	// element.
+	fi.elems = make([]int32, pos)
 	chunk.For(n, ew, func(c, lo, hi int) {
 		cur := cursor[c]
 		for i := lo; i < hi; i++ {
@@ -126,17 +152,50 @@ func collectFlows(m *mesh.Mesh, rootDual, owner, newOwner []int32, p, ew int) fl
 			if f < 0 {
 				continue
 			}
-			t := &m.Elems[i]
-			o := cur[f] * recWords
-			pl.recs[o+0] = int64(rootDual[t.Root])
-			pl.recs[o+1] = int64(t.V[0])
-			pl.recs[o+2] = int64(t.V[1])
-			pl.recs[o+3] = int64(t.V[2])
-			pl.recs[o+4] = int64(t.V[3])
-			pl.recs[o+5] = int64(t.Level)
+			fi.elems[cur[f]] = int32(i)
 			cur[f]++
 		}
 	})
+	return fi
+}
+
+// packRange packs the records of flows [f0, f1) into buf, which must hold
+// exactly the range's record words. Records are contiguous across the
+// range in canonical order, and each one is written independently from
+// its slab index, so the fill parallelizes over records with no flow
+// bookkeeping and the buffer content never depends on the chunking.
+func (fi *flowIndex) packRange(m *mesh.Mesh, rootDual []int32, f0, f1 int, buf []int64, workers int) {
+	base := fi.flowStart[f0]
+	n := int(fi.flowStart[f1] - base)
+	if int64(len(buf)) != int64(n)*recWords {
+		panic("par: packRange buffer size mismatch")
+	}
+	chunk.For(n, EffectiveWorkers(n, workers), func(_, lo, hi int) {
+		for r := lo; r < hi; r++ {
+			t := &m.Elems[fi.elems[base+int64(r)]]
+			o := r * recWords
+			buf[o+0] = int64(rootDual[t.Root])
+			buf[o+1] = int64(t.V[0])
+			buf[o+2] = int64(t.V[1])
+			buf[o+3] = int64(t.V[2])
+			buf[o+4] = int64(t.V[3])
+			buf[o+5] = int64(t.Level)
+		}
+	})
+}
+
+// collectFlows builds the full CSR scatter — index plus the complete
+// record buffer — for the bulk-synchronous executor. The streaming
+// executor uses collectFlowIndex directly and packs one window at a time.
+func collectFlows(m *mesh.Mesh, rootDual, owner, newOwner []int32, p, ew int) flowPlan {
+	fi := collectFlowIndex(m, rootDual, owner, newOwner, p, ew)
+	pl := flowPlan{
+		recs:      make([]int64, fi.moved*recWords),
+		flowStart: fi.flowStart,
+		moved:     fi.moved,
+		sets:      fi.sets,
+	}
+	fi.packRange(m, rootDual, 0, p*p, pl.recs, ew)
 	return pl
 }
 

@@ -1,0 +1,158 @@
+package par
+
+import (
+	"fmt"
+
+	"plum/internal/comm"
+	"plum/internal/machine"
+)
+
+// The streaming remap executor. The bulk-synchronous ExecuteRemap
+// materializes every migrating element's record at once (pack everything,
+// exchange everything, rebuild everything), so its payload buffer peaks at
+// Moved × RecordWords. ExecuteRemapStreaming interleaves pack / exchange /
+// verify per window of flows instead, committing windows in the canonical
+// src-major flow order the CSR scatter already defines. Because the window
+// layout is computed from the flow offsets alone — never from worker
+// scheduling — the payload bytes each rank sends, the owner array, the
+// modeled times, and the op accounting are byte-identical to the bulk
+// path at any worker count; only PeakWords differs, and that is the
+// point: it drops from the total to the largest in-flight window.
+
+// DefaultWindowFraction divides the total payload volume to derive the
+// adaptive window budget: with no explicit Dist.RemapWindow the streaming
+// executor targets ⌈total/8⌉ record words per window (floored at the
+// largest single flow, which can never be split), giving roughly eight
+// in-flight windows and a peak strictly below the total whenever more
+// than one flow moves.
+const DefaultWindowFraction = 8
+
+// remapWindow is one streaming commit unit: the contiguous canonical flow
+// range [f0, f1).
+type remapWindow struct{ f0, f1 int }
+
+// planWindows greedily groups consecutive flows into windows of at most
+// budget record words (a single flow larger than the budget gets a window
+// of its own — flows are the atomic commit unit). The plan depends only
+// on the flow offsets and the budget, so it is identical at every worker
+// count.
+func planWindows(flowStart []int64, budget int64) []remapWindow {
+	nf := len(flowStart) - 1
+	var wins []remapWindow
+	start := 0
+	var cur int64
+	for f := 0; f < nf; f++ {
+		w := (flowStart[f+1] - flowStart[f]) * recWords
+		if cur > 0 && cur+w > budget {
+			wins = append(wins, remapWindow{start, f})
+			start, cur = f, 0
+		}
+		cur += w
+	}
+	return append(wins, remapWindow{start, nf})
+}
+
+// windowBudget resolves the streaming window budget in record words: the
+// explicit override when set, else the adaptive default — the larger of
+// the biggest single flow and ⌈total/DefaultWindowFraction⌉.
+func windowBudget(flowStart []int64, override int64) int64 {
+	if override > 0 {
+		return override
+	}
+	nf := len(flowStart) - 1
+	var largest int64
+	for f := 0; f < nf; f++ {
+		largest = max(largest, flowStart[f+1]-flowStart[f])
+	}
+	total := flowStart[nf] * recWords
+	return max(largest*recWords, (total+DefaultWindowFraction-1)/DefaultWindowFraction)
+}
+
+// ExecuteRemapStreaming migrates element trees whose dual vertices change
+// owner under newOwner, like ExecuteRemap, but streams the payload: flows
+// are packed, exchanged over the comm runtime, and verified one window at
+// a time in canonical src-major order, with the window buffer reused
+// across windows. Peak payload memory is the largest window
+// (RemapResult.PeakWords) instead of the whole record buffer; everything
+// else in the result — payload bytes on the wire, owner array, modeled
+// times, op accounting — is byte-identical to the bulk-synchronous path
+// at any worker count. The window budget comes from Dist.RemapWindow
+// (≤ 0 = adaptive, see windowBudget).
+func (d *Dist) ExecuteRemapStreaming(newOwner []int32, mdl machine.Model) (RemapResult, error) {
+	if len(newOwner) != len(d.owner) {
+		return RemapResult{}, fmt.Errorf("par: newOwner has %d entries, want %d", len(newOwner), len(d.owner))
+	}
+	m := d.M
+	p := d.P
+	ew := EffectiveWorkers(len(m.Elems), d.Workers)
+	fi := collectFlowIndex(m, d.rootDual, d.owner, newOwner, p, ew)
+
+	res := RemapResult{
+		Moved: fi.moved,
+		Sets:  fi.sets,
+		Ops:   PredictRemapOps(len(m.Elems), fi.moved, fi.sets, p, d.Workers),
+	}
+
+	// Stream the windows: pack into the reused buffer, exchange the
+	// window's flows for real, and verify each received flow against the
+	// plan before the next window is admitted — so no more than one
+	// window of payload ever exists on the host. recvCount accumulates
+	// per-rank across windows; each goroutine rank touches only its own
+	// slot and the Runs are sequential, so there is no contention.
+	wins := planWindows(fi.flowStart, windowBudget(fi.flowStart, d.RemapWindow))
+	w := comm.NewWorld(p)
+	recvCount := make([]int64, p)
+	var buf []int64
+	for _, win := range wins {
+		base := fi.flowStart[win.f0]
+		words := (fi.flowStart[win.f1] - base) * recWords
+		res.PeakWords = max(res.PeakWords, words)
+		if int64(cap(buf)) < words {
+			buf = make([]int64, words)
+		}
+		bufW := buf[:words]
+		fi.packRange(m, d.rootDual, win.f0, win.f1, bufW, d.Workers)
+		w.Run(func(c *comm.Comm) {
+			src := c.Rank()
+			bufs := make([][]int64, p)
+			for f := win.f0; f < win.f1; f++ {
+				if f/p != src {
+					continue
+				}
+				lo := (fi.flowStart[f] - base) * recWords
+				hi := (fi.flowStart[f+1] - base) * recWords
+				bufs[f%p] = bufW[lo:hi]
+			}
+			got := c.Alltoallv(bufs)
+			// Per-window rebuild verification: every received flow must
+			// match the plan's record count exactly — torn or misrouted
+			// windows fail here, not at the final conservation check.
+			for from, data := range got {
+				if from == src {
+					continue
+				}
+				var want int64
+				if f := from*p + src; f >= win.f0 && f < win.f1 {
+					want = fi.flowStart[f+1] - fi.flowStart[f]
+				}
+				if int64(len(data)) != want*recWords {
+					panic(fmt.Sprintf("par: window flow %d->%d carried %d words, want %d",
+						from, src, len(data), want*recWords))
+				}
+				recvCount[src] += want
+			}
+		})
+	}
+	var recvTotal int64
+	for _, n := range recvCount {
+		recvTotal += n
+	}
+	if recvTotal != fi.moved {
+		return RemapResult{}, fmt.Errorf("par: moved %d elements but received %d", fi.moved, recvTotal)
+	}
+
+	d.accountRemap(fi.flowStart, mdl, &res)
+
+	copy(d.owner, newOwner)
+	return res, nil
+}

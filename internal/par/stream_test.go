@@ -1,0 +1,141 @@
+package par
+
+import (
+	"reflect"
+	"testing"
+
+	"plum/internal/dual"
+	"plum/internal/machine"
+	"plum/internal/meshgen"
+	"plum/internal/partition"
+)
+
+// TestRemapStreamingParity is the determinism contract of the streaming
+// executor: at every worker count its RemapResult — payload conservation,
+// owner array, modeled float times, op accounting — must be byte-identical
+// to the bulk-synchronous path. Only PeakWords may (and must) differ: the
+// streaming peak is the largest window, strictly below the bulk path's
+// whole-buffer total on this multi-flow fixture.
+func TestRemapStreamingParity(t *testing.T) {
+	const p = 8
+	refD, newOwner := bigFixture(t, p)
+	refD.Workers = 1
+	refRes, err := refD.ExecuteRemap(newOwner, machine.SP2())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if refRes.PeakWords != refRes.Moved*recWords {
+		t.Fatalf("bulk peak %d != total payload %d", refRes.PeakWords, refRes.Moved*recWords)
+	}
+
+	for _, w := range []int{1, 2, 4, 8} {
+		d, _ := bigFixture(t, p)
+		d.Workers = w
+		res, err := d.ExecuteRemapStreaming(newOwner, machine.SP2())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(d.Owners(), refD.Owners()) {
+			t.Fatalf("workers=%d: streaming owner array diverges from bulk", w)
+		}
+		if res.PeakWords <= 0 || res.PeakWords >= res.Moved*recWords {
+			t.Errorf("workers=%d: streaming peak %d not strictly below total %d",
+				w, res.PeakWords, res.Moved*recWords)
+		}
+		// Everything except the peak and the worker-dependent critical
+		// shares must be bit-identical to the workers=1 bulk reference.
+		res.PeakWords = refRes.PeakWords
+		res.Ops.Crit, res.Ops.MemCrit = refRes.Ops.Crit, refRes.Ops.MemCrit
+		if !reflect.DeepEqual(res, refRes) {
+			t.Errorf("workers=%d: streaming RemapResult diverges:\n got %+v\nwant %+v", w, res, refRes)
+		}
+		// And the prediction contract holds for the streaming path too.
+		d2, _ := bigFixture(t, p)
+		d2.Workers = w
+		res2, err := d2.ExecuteRemapStreaming(newOwner, machine.SP2())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pred := PredictRemapOps(len(d2.M.Elems), res2.Moved, res2.Sets, p, w); pred != res2.Ops {
+			t.Errorf("workers=%d: predicted %+v, streaming executed %+v", w, pred, res2.Ops)
+		}
+	}
+}
+
+// TestStreamingWindowBudget pins the window planner: an explicit tiny
+// budget forces many windows without changing any result byte, and the
+// peak never exceeds max(budget, largest flow).
+func TestStreamingWindowBudget(t *testing.T) {
+	const p = 8
+	refD, newOwner := bigFixture(t, p)
+	refD.Workers = 4
+	refRes, err := refD.ExecuteRemapStreaming(newOwner, machine.SP2())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	d, _ := bigFixture(t, p)
+	d.Workers = 4
+	d.RemapWindow = 64 // far below any realistic flow: one flow per window
+	// The largest flow is the atomic commit unit, so the peak is exactly
+	// the largest single flow under a sub-flow budget (indexed before the
+	// execution flips the ownership).
+	fi := collectFlowIndex(d.M, d.rootDual, d.Owners(), newOwner, p, 1)
+	res, err := d.ExecuteRemapStreaming(newOwner, machine.SP2())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(d.Owners(), refD.Owners()) {
+		t.Fatal("tiny window budget changed the owner array")
+	}
+	var largest int64
+	for f := 0; f < p*p; f++ {
+		largest = max(largest, fi.flowStart[f+1]-fi.flowStart[f])
+	}
+	if res.PeakWords != largest*recWords {
+		t.Errorf("sub-flow budget peak %d, want largest flow %d", res.PeakWords, largest*recWords)
+	}
+	if res.PeakWords >= refRes.PeakWords {
+		t.Errorf("tiny budget peak %d not below adaptive peak %d", res.PeakWords, refRes.PeakWords)
+	}
+	res.PeakWords = refRes.PeakWords
+	if !reflect.DeepEqual(res, refRes) {
+		t.Errorf("window budget changed the result:\n got %+v\nwant %+v", res, refRes)
+	}
+}
+
+// TestStreamingSerialFallback mirrors the bulk serial-fallback contract:
+// below SerialCutoff elements the streaming executor reports Crit ==
+// Total, and a single-window plan degenerates to the bulk peak.
+func TestStreamingSerialFallback(t *testing.T) {
+	m := meshgen.SmallBox()
+	g := dual.Build(m)
+	d := NewDist(m, 4, partition.Partition(g, 4, partition.MethodGraphGrow))
+	d.Workers = 8
+	newOwner := d.Owners()
+	for v := range newOwner {
+		newOwner[v] = (newOwner[v] + 1) % 4
+	}
+	res, err := d.ExecuteRemapStreaming(newOwner, machine.SP2())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ops.Crit != res.Ops.Total || res.Ops.MemCrit != res.Ops.MemTotal {
+		t.Errorf("serial fallback must report Crit == Total: %+v", res.Ops)
+	}
+	if res.PeakWords >= res.Moved*recWords && res.Sets > 1 {
+		t.Errorf("multi-flow peak %d not below total %d", res.PeakWords, res.Moved*recWords)
+	}
+
+	// A budget covering everything yields exactly one window whose peak
+	// is the bulk total.
+	d.SetOwners(partition.Partition(g, 4, partition.MethodGraphGrow))
+	d.RemapWindow = res.Moved * recWords
+	one, err := d.ExecuteRemapStreaming(newOwner, machine.SP2())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if one.PeakWords != one.Moved*recWords {
+		t.Errorf("whole-payload budget peak %d, want total %d", one.PeakWords, one.Moved*recWords)
+	}
+}

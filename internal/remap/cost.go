@@ -75,5 +75,14 @@ func (c CostModel) WorthwhileTotal(wmaxOld, wmaxNew, moved int64, sets int, over
 // the given maximum per-processor load — the quantity Fig. 12 compares
 // with and without load balancing.
 func (c CostModel) SolverTime(wmax int64) float64 {
-	return c.Titer * float64(c.Nadapt) * float64(wmax)
+	return c.SolverTimeIters(wmax, c.Nadapt)
+}
+
+// SolverTimeIters returns the time (seconds) for iters solver iterations
+// with the given maximum per-processor load: Titer·iters·wmax. Cycle uses
+// it with Config.SolverIters so the modeled solver window matches the
+// iterations the proxy solver actually runs; SolverTime is the Nadapt
+// special case the gain side of the cost model is built on.
+func (c CostModel) SolverTimeIters(wmax int64, iters int) float64 {
+	return c.Titer * float64(iters) * float64(wmax)
 }
