@@ -20,8 +20,9 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: table1, fig8, fig9, fig10, fig11, fig12, extension, partitioners, remap, adapt, overlap, all")
+	exp := flag.String("exp", "all", "experiment to run: table1, fig8, fig9, fig10, fig11, fig12, extension, partitioners, remap, adapt, overlap, faults, all")
 	k := flag.Int("k", 16, "partition count for -exp partitioners")
+	faultSeed := flag.Int64("fault-seed", 7, "fault schedule seed for -exp faults")
 	workers := flag.Int("workers", 0, "worker goroutines for parallel partitioning, refinement, and adaption phases (0 = GOMAXPROCS)")
 	refiner := flag.String("refiner", "", "boundary-refinement backend for -exp partitioners: "+strings.Join(refine.Names, ", ")+" ('' = per-backend default)")
 	propg := flag.String("propagator", "", "frontier-propagation backend for -exp adapt: "+strings.Join(propagate.Names, ", ")+" ('' = bulksync)")
@@ -54,6 +55,7 @@ func main() {
 		{"remap", func() fmt.Stringer { return experiments.RunRemapExecTable(*workers) }},
 		{"adapt", func() fmt.Stringer { return experiments.RunAdaptTable(*workers, *propg) }},
 		{"overlap", func() fmt.Stringer { return experiments.RunOverlapTable(*workers) }},
+		{"faults", func() fmt.Stringer { return experiments.RunFaultTable(*faultSeed, *workers) }},
 	}
 
 	ran := false

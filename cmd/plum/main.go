@@ -18,6 +18,7 @@ import (
 	"plum/internal/adapt"
 	"plum/internal/chunk"
 	"plum/internal/core"
+	"plum/internal/fault"
 	"plum/internal/geom"
 	"plum/internal/meshgen"
 	"plum/internal/par"
@@ -44,6 +45,8 @@ func main() {
 		seed    = flag.Int64("seed", 1, "random seed")
 		workers = flag.Int("workers", 0, "worker goroutines for parallel partitioning and refinement phases (0 = GOMAXPROCS)")
 		overlap = flag.Bool("overlap", false, "hide the balance pipeline behind the solver iterations and stream the remap payload one flow window at a time")
+		faults  = flag.String("faults", "", "deterministic fault-injection plan, e.g. seed=7,rate=0.1,kinds=drop+corrupt (empty = faults off)")
+		retries = flag.Int("retries", -1, "recovery budget with -faults: extra send attempts per message and re-executions per failed remap window (-1 = default policy: 3 attempts, 2 window retries)")
 		scale   = flag.Float64("scale", 1.0, "mesh scale factor (1.0 = paper's 61k elements)")
 		verbose = flag.Bool("v", false, "print adaption phase breakdowns")
 	)
@@ -76,6 +79,14 @@ func main() {
 		log.Fatalf("unknown propagator %q (have %v)", *propg, propagate.Names)
 	}
 	cfg.Propagator = *propg
+	plan, err := fault.Parse(*faults)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg.Faults = plan
+	if *retries >= 0 {
+		cfg.Retry = fault.Budget(*retries)
+	}
 
 	rp := meshgen.DefaultRotor()
 	if *scale != 1.0 {
@@ -103,6 +114,10 @@ func main() {
 	propName, _ := propagate.ByName(cfg.Propagator, cfg.Workers)
 	fmt.Printf("config: P=%d F=%d threshold=%.2f mapper=%s partitioner=%s refiner=%s propagator=%s workers=%d overlap=%v\n",
 		cfg.P, cfg.F, cfg.ImbalanceThreshold, cfg.Mapper, cfg.Method, refName, propName.Name(), chunk.Workers(cfg.Workers), cfg.Overlap)
+	if plan.Enabled() {
+		r := cfg.Retry.Normalize()
+		fmt.Printf("faults: %s attempts=%d window-retries=%d\n", plan, r.MsgAttempts, r.WindowRetries)
+	}
 
 	var stratFn func(a *adapt.Adaptor)
 	switch *strat {
@@ -138,11 +153,23 @@ func main() {
 		switch {
 		case !b.Repartitioned:
 			fmt.Printf(" (balanced, no repartition)\n")
+		case b.Outcome == core.OutcomeRolledBack || b.Outcome == core.OutcomeDegraded:
+			fmt.Printf(" -> repartitioned, remap ROLLED BACK, continuing on old partition (%s)\n", b.FaultDetail)
 		case !b.Accepted:
 			fmt.Printf(" -> repartitioned, remap REJECTED (gain %.3g ≤ cost %.3g)\n", b.Gain, b.Cost)
 		default:
-			fmt.Printf(" -> %.2f, moved %d elems in %d sets (gain %.3g > cost %.3g), remapT=%.3fs\n",
+			fmt.Printf(" -> %.2f, moved %d elems in %d sets (gain %.3g > cost %.3g), remapT=%.3fs",
 				b.ImbalanceAfter, b.MoveC, b.MoveN, b.Gain, b.Cost, b.Remap.Total)
+			if b.Outcome == core.OutcomeRetriedCommitted {
+				fmt.Printf(" [recovered: %d msg retries, %d window retries]",
+					b.Remap.Retries, b.Remap.WindowRetries)
+			}
+			fmt.Println()
+		}
+		if rep.Outcome == core.OutcomeDegraded {
+			fmt.Fprintf(os.Stderr, "plum: degraded at cycle %d: %d consecutive balance rollbacks under plan %q: %s\n",
+				c, core.DegradedStreak, plan, b.FaultDetail)
+			os.Exit(1)
 		}
 		if *verbose {
 			fmt.Printf("         target=%.4f propagate=%.4f execute=%.4f classify=%.4f rounds=%d msgs=%d words=%d\n",

@@ -58,7 +58,8 @@ func (c *Comm) Reduce(root int, vals []int64, op Op) []int64 {
 	}
 	res := append([]int64(nil), vals...)
 	for i := 0; i < c.w.p-1; i++ {
-		d, _ := c.Recv(AnySource, tagReduceRoot)
+		d, src := c.Recv(AnySource, tagReduceRoot)
+		lenCheck("Reduce", c.rank, len(res), src, len(d))
 		for j := range res {
 			res[j] = op.apply(res[j], d[j])
 		}

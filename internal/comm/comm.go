@@ -9,11 +9,21 @@
 // Every rank records traffic counters (messages and words sent) so the
 // machine model can translate a run's communication pattern into SP2-class
 // time.
+//
+// The package also carries the robustness layer's transport: a reliable
+// framed path (SendReliable/RecvReliable, see reliable.go) with sequence
+// numbers, checksums, and bounded retry, driven by a deterministic fault
+// hook installed via World.SetFaults. A rank that panics no longer hangs
+// the other P−1 ranks: Run poisons the world, wakes every blocked Recv and
+// Barrier, and returns an aggregated error naming the failing ranks.
 package comm
 
 import (
 	"fmt"
+	"strings"
 	"sync"
+
+	"plum/internal/fault"
 )
 
 // message is one in-flight point-to-point payload.
@@ -22,11 +32,19 @@ type message struct {
 	data     []int64
 }
 
+// poisonMark is the sentinel panic value used to unwind ranks that were
+// blocked in Recv or Barrier when another rank died. Run recognizes and
+// filters it so the aggregated error names only the original failures.
+type poisonMark struct{}
+
+var poisonSentinel any = poisonMark{}
+
 // mailbox is a rank's incoming queue with (src, tag) matching.
 type mailbox struct {
 	mu   sync.Mutex
 	cond *sync.Cond
 	q    []message
+	dead bool
 }
 
 func newMailbox() *mailbox {
@@ -46,6 +64,9 @@ func (mb *mailbox) get(src, tag int) message {
 	mb.mu.Lock()
 	defer mb.mu.Unlock()
 	for {
+		if mb.dead {
+			panic(poisonSentinel)
+		}
 		for i, m := range mb.q {
 			if (src == AnySource || m.src == src) && m.tag == tag {
 				mb.q = append(mb.q[:i], mb.q[i+1:]...)
@@ -68,20 +89,48 @@ type World struct {
 	barrierCnt int
 	barrierGen int
 	barrierCv  *sync.Cond
+	dead       bool // set by poison(); guarded by barrierMu
 
 	statsMu sync.Mutex
 	stats   []Stats
+
+	// Reliable-transport state (reliable.go). The hook and budget are set
+	// between Run calls; the per-(src,dst) slots indexed src*p+dst are each
+	// written by exactly one rank goroutine (sender-owned except
+	// pairExpect, which the receiver owns), so no locking is needed.
+	hook        func(src, dst, attempt int) fault.Kind
+	maxAttempts int
+	pairAttempt []int32 // fault-hook consultations per pair (sender-owned)
+	pairSeq     []int64 // next sequence number per pair (sender-owned)
+	pairExpect  []int64 // next expected sequence per pair (receiver-owned)
+	pairResend  []int64 // extra physical frames per pair (sender-owned)
+	pairBackoff []int64 // Σ 2^try backoff units per pair (sender-owned)
 }
 
-// Stats counts a rank's outgoing traffic.
+// Stats counts a rank's outgoing traffic. Words counts payload words only;
+// the reliable path's frame headers are bookkeeping, not modeled volume.
 type Stats struct {
 	Msgs  int64
 	Words int64
+	// Retries counts extra physical frames the reliable path sent
+	// (retransmissions and duplicate deliveries) and RetryWords their
+	// payload words; Failed counts transfers abandoned after the attempt
+	// budget. All three stay zero on the plain Send path.
+	Retries    int64
+	RetryWords int64
+	Failed     int64
 }
 
 // NewWorld creates a communicator with p ranks.
 func NewWorld(p int) *World {
-	w := &World{p: p, boxes: make([]*mailbox, p), stats: make([]Stats, p)}
+	w := &World{p: p, boxes: make([]*mailbox, p), stats: make([]Stats, p),
+		maxAttempts: 1,
+		pairAttempt: make([]int32, p*p),
+		pairSeq:     make([]int64, p*p),
+		pairExpect:  make([]int64, p*p),
+		pairResend:  make([]int64, p*p),
+		pairBackoff: make([]int64, p*p),
+	}
 	for i := range w.boxes {
 		w.boxes[i] = newMailbox()
 	}
@@ -92,9 +141,37 @@ func NewWorld(p int) *World {
 // P returns the number of ranks.
 func (w *World) P() int { return w.p }
 
+// poison marks the world dead and wakes every rank blocked in Barrier or
+// Recv; they unwind with the poison sentinel instead of waiting forever.
+func (w *World) poison() {
+	w.barrierMu.Lock()
+	w.dead = true
+	w.barrierCv.Broadcast()
+	w.barrierMu.Unlock()
+	for _, mb := range w.boxes {
+		mb.mu.Lock()
+		mb.dead = true
+		mb.cond.Broadcast()
+		mb.mu.Unlock()
+	}
+}
+
+// Poisoned reports whether a rank failure has killed this world.
+func (w *World) Poisoned() bool {
+	w.barrierMu.Lock()
+	defer w.barrierMu.Unlock()
+	return w.dead
+}
+
 // Run executes f on every rank concurrently and returns when all ranks
-// finish. A panic on any rank is re-raised on the caller.
-func (w *World) Run(f func(c *Comm)) {
+// finish. A panic on any rank poisons the world — every other rank blocked
+// in Recv or Barrier unwinds instead of deadlocking — and Run returns an
+// aggregated error naming the ranks that originally panicked. A poisoned
+// world stays dead: later Run calls fail immediately.
+func (w *World) Run(f func(c *Comm)) error {
+	if w.Poisoned() {
+		return fmt.Errorf("comm: world already poisoned by an earlier rank failure")
+	}
 	var wg sync.WaitGroup
 	panics := make([]any, w.p)
 	for r := 0; r < w.p; r++ {
@@ -104,17 +181,24 @@ func (w *World) Run(f func(c *Comm)) {
 			defer func() {
 				if e := recover(); e != nil {
 					panics[rank] = e
+					w.poison()
 				}
 			}()
 			f(&Comm{w: w, rank: rank})
 		}(r)
 	}
 	wg.Wait()
+	var parts []string
 	for r, e := range panics {
-		if e != nil {
-			panic(fmt.Sprintf("comm: rank %d panicked: %v", r, e))
+		if e == nil || e == poisonSentinel {
+			continue
 		}
+		parts = append(parts, fmt.Sprintf("rank %d panicked: %v", r, e))
 	}
+	if parts == nil {
+		return nil
+	}
+	return fmt.Errorf("comm: %s", strings.Join(parts, "; "))
 }
 
 // RankStats returns the accumulated traffic counters per rank.
@@ -170,18 +254,24 @@ func (c *Comm) Recv(src, tag int) ([]int64, int) {
 func (c *Comm) Barrier() {
 	w := c.w
 	w.barrierMu.Lock()
+	defer w.barrierMu.Unlock()
+	if w.dead {
+		panic(poisonSentinel)
+	}
 	gen := w.barrierGen
 	w.barrierCnt++
 	if w.barrierCnt == w.p {
 		w.barrierCnt = 0
 		w.barrierGen++
 		w.barrierCv.Broadcast()
-	} else {
-		for gen == w.barrierGen {
-			w.barrierCv.Wait()
+		return
+	}
+	for gen == w.barrierGen {
+		w.barrierCv.Wait()
+		if w.dead {
+			panic(poisonSentinel)
 		}
 	}
-	w.barrierMu.Unlock()
 }
 
 // Reduction operators for Allreduce.
@@ -219,9 +309,20 @@ const (
 	tagBcast
 )
 
+// lenCheck validates that a collective partner sent the expected number of
+// words; the panic (converted to an error by Run) names both ranks so a
+// mismatched collective fails loudly instead of corrupting the reduction.
+func lenCheck(coll string, self, have, src, got int) {
+	if got != have {
+		panic(fmt.Sprintf("comm: %s length mismatch: rank %d has %d words but rank %d sent %d",
+			coll, self, have, src, got))
+	}
+}
+
 // Allreduce combines vals elementwise across all ranks with op and returns
 // the result (identical on every rank). Implemented as a recursive
-// -doubling butterfly over point-to-point messages.
+// -doubling butterfly over point-to-point messages. Ranks must pass
+// equal-length slices; a mismatch fails naming the offending ranks.
 func (c *Comm) Allreduce(vals []int64, op Op) []int64 {
 	res := append([]int64(nil), vals...)
 	p := c.w.p
@@ -237,10 +338,12 @@ func (c *Comm) Allreduce(vals []int64, op Op) []int64 {
 	if r >= pow {
 		c.Send(r-pow, tagReduce, res)
 		got, _ := c.Recv(r-pow, tagBcast)
+		lenCheck("Allreduce", r, len(res), r-pow, len(got))
 		return got
 	}
 	if r < rem {
 		d, _ := c.Recv(r+pow, tagReduce)
+		lenCheck("Allreduce", r, len(res), r+pow, len(d))
 		for i := range res {
 			res[i] = op.apply(res[i], d[i])
 		}
@@ -249,6 +352,7 @@ func (c *Comm) Allreduce(vals []int64, op Op) []int64 {
 		partner := r ^ mask
 		c.Send(partner, tagReduce, res)
 		d, _ := c.Recv(partner, tagReduce)
+		lenCheck("Allreduce", r, len(res), partner, len(d))
 		for i := range res {
 			res[i] = op.apply(res[i], d[i])
 		}
@@ -260,6 +364,8 @@ func (c *Comm) Allreduce(vals []int64, op Op) []int64 {
 }
 
 // Allgather collects each rank's slice on every rank, indexed by rank.
+// Like MPI_Allgather, every rank must contribute the same number of words;
+// a mismatch fails naming the offending ranks.
 func (c *Comm) Allgather(vals []int64) [][]int64 {
 	p := c.w.p
 	for dst := 0; dst < p; dst++ {
@@ -271,12 +377,14 @@ func (c *Comm) Allgather(vals []int64) [][]int64 {
 	out[c.rank] = append([]int64(nil), vals...)
 	for i := 0; i < p-1; i++ {
 		d, src := c.Recv(AnySource, tagAllgather)
+		lenCheck("Allgather", c.rank, len(vals), src, len(d))
 		out[src] = d
 	}
 	return out
 }
 
-// Gather collects each rank's slice on root (other ranks get nil).
+// Gather collects each rank's slice on root (other ranks get nil). Slices
+// may have different lengths (MPI_Gatherv semantics).
 func (c *Comm) Gather(root int, vals []int64) [][]int64 {
 	if c.rank != root {
 		c.Send(root, tagGather, vals)
@@ -296,7 +404,8 @@ func (c *Comm) Gather(root int, vals []int64) [][]int64 {
 func (c *Comm) Alltoallv(bufs [][]int64) [][]int64 {
 	p := c.w.p
 	if len(bufs) != p {
-		panic("comm: Alltoallv needs one buffer per rank")
+		panic(fmt.Sprintf("comm: Alltoallv on rank %d got %d buffers, need one per rank (%d)",
+			c.rank, len(bufs), p))
 	}
 	for dst := 0; dst < p; dst++ {
 		if dst == c.rank {

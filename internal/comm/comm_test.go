@@ -1,8 +1,10 @@
 package comm
 
 import (
+	"strings"
 	"sync/atomic"
 	"testing"
+	"time"
 )
 
 func TestPingPong(t *testing.T) {
@@ -170,18 +172,84 @@ func TestStatsCounters(t *testing.T) {
 	}
 }
 
-func TestRunPropagatesPanic(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Error("panic not propagated")
-		}
-	}()
+func TestRunReturnsPanicAsError(t *testing.T) {
 	w := NewWorld(2)
-	w.Run(func(c *Comm) {
+	err := w.Run(func(c *Comm) {
 		if c.Rank() == 1 {
 			panic("boom")
 		}
 	})
+	if err == nil || !strings.Contains(err.Error(), "rank 1 panicked: boom") {
+		t.Fatalf("Run error = %v", err)
+	}
+	if !w.Poisoned() {
+		t.Error("world not poisoned after rank panic")
+	}
+	if err := w.Run(func(c *Comm) {}); err == nil {
+		t.Error("poisoned world accepted another Run")
+	}
+}
+
+func TestRunUnblocksDeadlockedRanks(t *testing.T) {
+	// One rank dies while the others are blocked in Recv and Barrier; the
+	// poison must wake all of them and the error must name only rank 0.
+	w := NewWorld(4)
+	done := make(chan error, 1)
+	go func() {
+		done <- w.Run(func(c *Comm) {
+			switch c.Rank() {
+			case 0:
+				panic("rank 0 dies")
+			case 1:
+				c.Recv(0, 42) // never sent
+			default:
+				c.Barrier() // never completed
+			}
+		})
+	}()
+	select {
+	case err := <-done:
+		if err == nil || !strings.Contains(err.Error(), "rank 0 panicked") {
+			t.Fatalf("Run error = %v", err)
+		}
+		if strings.Contains(err.Error(), "rank 1") || strings.Contains(err.Error(), "rank 2") {
+			t.Errorf("collateral unwinds leaked into error: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("Run still deadlocked after a rank panic")
+	}
+}
+
+func TestCollectiveLengthValidation(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		f    func(c *Comm)
+	}{
+		{"Allreduce", func(c *Comm) {
+			c.Allreduce(make([]int64, 1+c.Rank()%2), OpSum)
+		}},
+		{"Allgather", func(c *Comm) {
+			c.Allgather(make([]int64, 1+c.Rank()%2))
+		}},
+		{"Reduce", func(c *Comm) {
+			c.Reduce(0, make([]int64, 1+c.Rank()%2), OpSum)
+		}},
+		{"Alltoallv", func(c *Comm) {
+			c.Alltoallv(make([][]int64, c.P()-1))
+		}},
+	} {
+		err := NewWorld(4).Run(tc.f)
+		if err == nil {
+			t.Errorf("%s with mismatched lengths succeeded", tc.name)
+			continue
+		}
+		if tc.name != "Alltoallv" && !strings.Contains(err.Error(), "length mismatch") {
+			t.Errorf("%s error does not name the mismatch: %v", tc.name, err)
+		}
+		if !strings.Contains(err.Error(), "rank") {
+			t.Errorf("%s error does not name a rank: %v", tc.name, err)
+		}
+	}
 }
 
 func TestAnySource(t *testing.T) {

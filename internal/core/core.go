@@ -9,11 +9,13 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"slices"
 
 	"plum/internal/adapt"
 	"plum/internal/dual"
+	"plum/internal/fault"
 	"plum/internal/geom"
 	"plum/internal/machine"
 	"plum/internal/mesh"
@@ -111,6 +113,18 @@ type Config struct {
 	// initial mesh is too *large* and partitioning time would be
 	// excessive.
 	Agglomerate int
+	// Faults is the deterministic fault-injection plan for the balance
+	// cycles (internal/fault): the remap payload exchange runs over the
+	// reliable transport with real injected faults, and the adaption
+	// notification exchanges are charged modeled retry traffic. nil — or
+	// a zero-rate plan — keeps every report and every byte of mesh state
+	// identical to the fault-free baseline. Each cycle draws an
+	// independent schedule (the fault keys carry the cycle index).
+	Faults *fault.Plan
+	// Retry bounds the recovery effort when Faults is set: send attempts
+	// per message and re-executions per failed remap window. The zero
+	// value selects fault.DefaultRetry.
+	Retry fault.Retry
 }
 
 // DefaultConfig returns the configuration used throughout the experiments:
@@ -144,6 +158,14 @@ type Framework struct {
 	// graph's centroids never change, so the order is computed once and
 	// every later repartition is an O(n) scan (see partition.SFCPartitioner).
 	sfcCache *partition.SFCPartitioner
+
+	// cycles counts completed Cycle calls; it scopes the fault keys so
+	// each cycle draws an independent schedule (par.Dist.FaultCycle).
+	cycles int
+	// rollbackStreak counts consecutive rolled-back balance passes; at
+	// DegradedStreak the outcome escalates to OutcomeDegraded. A
+	// committed remap resets it.
+	rollbackStreak int
 }
 
 // refiner resolves the boundary-refinement backend for the SFC hot path
@@ -219,6 +241,9 @@ func New(m *mesh.Mesh, sol *solver.Solver, cfg Config) (*Framework, error) {
 	if !ok {
 		return nil, fmt.Errorf("core: unknown propagator %q (have %v)", cfg.Propagator, propagate.Names)
 	}
+	if err := cfg.Faults.Validate(); err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
 	for i := 0; i < cfg.PreAdapt; i++ {
 		pa := adapt.New(m)
 		pa.MarkRegion(geom.All{}, adapt.MarkRefine)
@@ -243,6 +268,8 @@ func New(m *mesh.Mesh, sol *solver.Solver, cfg Config) (*Framework, error) {
 	d := par.NewDist(m, cfg.P, asg)
 	d.Workers = cfg.Workers // the remap scatter and SPL scans share the knob
 	d.Prop = prop           // the adaption phases' frontier-propagation backend
+	d.Faults = cfg.Faults   // fault plan + recovery budget for the balance cycles
+	d.Retry = cfg.Retry
 	return &Framework{
 		Cfg: cfg,
 		M:   m,
@@ -290,6 +317,49 @@ func (f *Framework) Evaluate() (imbalance float64, needsRepartition bool) {
 	f.G.UpdateWeights(f.M)
 	imb := par.ImbalanceFactor(f.Loads())
 	return imb, imb > f.Cfg.ImbalanceThreshold
+}
+
+// BalanceOutcome classifies how one balance pass concluded under the
+// fault plan. Without a plan every pass reports Committed.
+type BalanceOutcome int
+
+// The balance outcomes, in escalating order of distress.
+const (
+	// OutcomeCommitted: the pass completed cleanly — no remap attempted,
+	// a remap rejected by the cost rule, or a remap executed without a
+	// single retry.
+	OutcomeCommitted BalanceOutcome = iota
+	// OutcomeRetriedCommitted: the remap executed and converged to the
+	// fault-free result, but only after transport or window retries.
+	OutcomeRetriedCommitted
+	// OutcomeRolledBack: the remap exhausted its retry budget and rolled
+	// back; the cycle continues on the old partition (graceful
+	// degradation) with the pre-balance ownership verifiably intact.
+	OutcomeRolledBack
+	// OutcomeDegraded: DegradedStreak consecutive balance passes rolled
+	// back — the machine is persistently failing and the imbalance can no
+	// longer be corrected. The framework keeps running, but drivers
+	// should surface this loudly (cmd/plum exits non-zero).
+	OutcomeDegraded
+)
+
+// DegradedStreak is the number of consecutive rolled-back balance passes
+// that escalates OutcomeRolledBack to OutcomeDegraded.
+const DegradedStreak = 2
+
+// String implements fmt.Stringer.
+func (o BalanceOutcome) String() string {
+	switch o {
+	case OutcomeCommitted:
+		return "committed"
+	case OutcomeRetriedCommitted:
+		return "retried-committed"
+	case OutcomeRolledBack:
+		return "rolled-back"
+	case OutcomeDegraded:
+		return "degraded"
+	}
+	return fmt.Sprintf("BalanceOutcome(%d)", int(o))
 }
 
 // BalanceReport records one pass through the load-balancing pipeline.
@@ -381,6 +451,13 @@ type BalanceReport struct {
 	RemapPeakWords int64
 	// Remap holds the executed migration (zero when not accepted).
 	Remap par.RemapResult
+	// Outcome classifies the pass under the fault plan: Committed,
+	// RetriedCommitted, RolledBack, or Degraded. Always Committed without
+	// a plan.
+	Outcome BalanceOutcome
+	// FaultDetail is the rolled-back remap's diagnostic (the RemapError
+	// text); empty unless Outcome is RolledBack or Degraded.
+	FaultDetail string
 }
 
 // Balance runs the repartitioning / reassignment / cost-decision /
@@ -489,7 +566,29 @@ func (f *Framework) balance(window float64) (BalanceReport, error) {
 		res, err = f.D.ExecuteRemap(newOwner, f.Cfg.Model)
 	}
 	if err != nil {
+		var re *par.RemapError
+		if errors.As(err, &re) && re.RolledBack {
+			// Graceful degradation: the remap exhausted its recovery
+			// budget and restored the pre-balance ownership, so the cycle
+			// continues on the old partition. The new partitioning is
+			// discarded exactly like a cost-rejected one — no remap
+			// charge, the imbalance stays — and the failure is reported
+			// in the outcome, not as an error.
+			rep.Accepted = false
+			rep.ImbalanceAfter = rep.ImbalanceBefore
+			rep.FaultDetail = re.Error()
+			f.rollbackStreak++
+			rep.Outcome = OutcomeRolledBack
+			if f.rollbackStreak >= DegradedStreak {
+				rep.Outcome = OutcomeDegraded
+			}
+			return rep, nil
+		}
 		return rep, err
+	}
+	f.rollbackStreak = 0
+	if res.Retries > 0 || res.WindowRetries > 0 {
+		rep.Outcome = OutcomeRetriedCommitted
 	}
 	rep.Remap = res
 	rep.RemapPeakWords = res.PeakWords
@@ -509,6 +608,9 @@ type CycleReport struct {
 	AdaptTime par.AdaptTimings
 	// Balance is the load-balancing pipeline report.
 	Balance BalanceReport
+	// Outcome mirrors Balance.Outcome — the cycle's conclusion under the
+	// fault plan, surfaced at the top level for drivers.
+	Outcome BalanceOutcome
 }
 
 // Cycle executes one pass of the paper's Fig. 1 loop: flow solution, edge
@@ -519,6 +621,10 @@ type CycleReport struct {
 // exposed remainder.
 func (f *Framework) Cycle(mark func(*adapt.Adaptor)) (CycleReport, error) {
 	var rep CycleReport
+	// Scope this cycle's fault keys: the adaption exchanges and the remap
+	// payload both draw from the cycle's own schedule.
+	f.D.FaultCycle = f.cycles
+	f.cycles++
 	loads := f.Loads()
 	rep.SolverTime = f.Cfg.Cost.SolverTimeIters(slices.Max(loads), f.Cfg.SolverIters)
 	if f.S != nil {
@@ -539,6 +645,7 @@ func (f *Framework) Cycle(mark func(*adapt.Adaptor)) (CycleReport, error) {
 	bal.AdaptCritOps = rep.AdaptTime.Ops.Crit
 	bal.AdaptExecTime = rep.AdaptTime.Ops.Time(f.Cfg.Model)
 	rep.Balance = bal
+	rep.Outcome = bal.Outcome
 	return rep, nil
 }
 

@@ -1,0 +1,152 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"plum/internal/adapt"
+	"plum/internal/core"
+	"plum/internal/fault"
+	"plum/internal/geom"
+	"plum/internal/meshgen"
+)
+
+// faultRates and faultBudgets are the sweep axes: fault probability per
+// message attempt × scalar recovery budget (fault.Budget — b extra send
+// attempts per message, b window re-executions).
+var (
+	faultRates   = []float64{0, 0.05, 0.2, 0.5}
+	faultBudgets = []int{0, 1, 3}
+)
+
+// faultCycles is the number of balance cycles each cell runs.
+const faultCycles = 3
+
+// FaultRow is one (rate, budget) cell of the fault sweep: the outcome of
+// every cycle plus the accumulated recovery traffic.
+type FaultRow struct {
+	Rate   float64
+	Budget int
+	// Outcomes is each cycle's conclusion, in order.
+	Outcomes []core.BalanceOutcome
+	// MsgRetries and RetryWords are the remap transport's summed retry
+	// traffic; WindowRetries the re-executed remap windows.
+	MsgRetries, RetryWords int64
+	WindowRetries          int
+	// AdaptRetries and AdaptBackoff are the modeled retry traffic of the
+	// adaption notification exchanges (extra sends / backoff units).
+	AdaptRetries, AdaptBackoff int64
+	// RetryTime is the summed modeled remap retry time; FinalImbalance
+	// the imbalance after the last cycle — the price of degradation.
+	RetryTime      float64
+	FinalImbalance float64
+}
+
+// outcomeCounts tallies the row's outcomes by kind.
+func (r *FaultRow) outcomeCounts() (committed, retried, rolledBack, degraded int) {
+	for _, o := range r.Outcomes {
+		switch o {
+		case core.OutcomeCommitted:
+			committed++
+		case core.OutcomeRetriedCommitted:
+			retried++
+		case core.OutcomeRolledBack:
+			rolledBack++
+		case core.OutcomeDegraded:
+			degraded++
+		}
+	}
+	return
+}
+
+// FaultTable is the fault-tolerance anatomy: how the balance cycles
+// conclude — committed, retried, rolled back, degraded — as the fault
+// rate and the recovery budget vary, with the recovery traffic and its
+// modeled cost. Deterministic for a given seed at every worker count.
+type FaultTable struct {
+	Seed    int64
+	P       int
+	Workers int
+	Rows    []FaultRow
+}
+
+// RunFaultTable sweeps fault rate × recovery budget over a corner-refined
+// box workload (P=8, three overlapped balance cycles per cell, streaming
+// remap) under the given fault seed. Every figure in the table is
+// byte-identical at every worker count and across repeated runs — the
+// fault schedule is a pure function of (seed, cycle, stage, src, dst,
+// attempt).
+func RunFaultTable(seed int64, workers int) *FaultTable {
+	const p = 8
+	out := &FaultTable{Seed: seed, P: p, Workers: workers}
+	for _, rate := range faultRates {
+		for _, budget := range faultBudgets {
+			cfg := core.DefaultConfig(p)
+			cfg.Workers = workers
+			cfg.Overlap = true // stream the remap: windows are the commit unit
+			cfg.Faults = &fault.Plan{Seed: seed, Rate: rate}
+			cfg.Retry = fault.Budget(budget)
+			f, err := core.New(meshgen.Box(8, 8, 8, geom.Vec3{X: 1, Y: 1, Z: 1}), nil, cfg)
+			if err != nil {
+				panic(err)
+			}
+			row := FaultRow{Rate: rate, Budget: budget}
+			radius := 0.7
+			for c := 0; c < faultCycles; c++ {
+				r := radius
+				rep, err := f.Cycle(func(a *adapt.Adaptor) {
+					a.MarkRegion(geom.Sphere{Center: geom.Vec3{}, Radius: r}, adapt.MarkRefine)
+				})
+				if err != nil {
+					panic(err)
+				}
+				radius *= 0.8
+				row.Outcomes = append(row.Outcomes, rep.Outcome)
+				row.MsgRetries += rep.Balance.Remap.Retries
+				row.RetryWords += rep.Balance.Remap.RetryWords
+				row.WindowRetries += rep.Balance.Remap.WindowRetries
+				row.AdaptRetries += rep.AdaptTime.Retries
+				row.AdaptBackoff += rep.AdaptTime.Backoff
+				row.RetryTime += rep.Balance.Remap.RetryTime
+				row.FinalImbalance = rep.Balance.ImbalanceAfter
+			}
+			out.Rows = append(out.Rows, row)
+		}
+	}
+	return out
+}
+
+// shortOutcome compresses an outcome for the table's per-cycle column.
+func shortOutcome(o core.BalanceOutcome) string {
+	switch o {
+	case core.OutcomeCommitted:
+		return "ok"
+	case core.OutcomeRetriedCommitted:
+		return "retried"
+	case core.OutcomeRolledBack:
+		return "rollback"
+	case core.OutcomeDegraded:
+		return "DEGRADED"
+	}
+	return o.String()
+}
+
+// String renders the sweep.
+func (t *FaultTable) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Fault-tolerant balance cycles: outcome sweep (seed %d, P=%d, %d cycles/cell, streaming remap)\n",
+		t.Seed, t.P, faultCycles)
+	fmt.Fprintf(&b, "%6s%8s  %-28s%9s%10s%8s%9s%9s%11s%8s\n",
+		"rate", "budget", "outcomes", "msg rty", "rty wds", "win rty",
+		"ad rty", "ad bkf", "rty t (s)", "imb")
+	for _, r := range t.Rows {
+		names := make([]string, len(r.Outcomes))
+		for i, o := range r.Outcomes {
+			names[i] = shortOutcome(o)
+		}
+		fmt.Fprintf(&b, "%6.2f%8d  %-28s%9d%10d%8d%9d%9d%11.3g%8.2f\n",
+			r.Rate, r.Budget, strings.Join(names, ","), r.MsgRetries, r.RetryWords,
+			r.WindowRetries, r.AdaptRetries, r.AdaptBackoff, r.RetryTime, r.FinalImbalance)
+	}
+	return b.String()
+}

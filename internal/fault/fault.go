@@ -1,0 +1,345 @@
+// Package fault is the deterministic fault-injection subsystem of the
+// load balancer's robustness layer. A Plan is a pure function from the
+// key (cycle, stage, src, dst, attempt) to a fault Kind, derived from a
+// seed by a splitmix64-style hash: no state, no clocks, no randomness at
+// run time. Because the key never mentions worker counts or goroutine
+// scheduling, every injected failure — and every recovery the transport
+// and remap layers perform in response — is byte-reproducible at any
+// worker count, per the repo's determinism contract.
+//
+// The comm layer consults a Plan through World.SetFaults on the reliable
+// send path (real frames dropped, corrupted, duplicated, or stalled
+// between goroutine ranks); the propagate layer consults it through an
+// ExchangeModel to charge modeled retry traffic on the adaption
+// notification exchanges, whose payloads are modeled rather than moved.
+package fault
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Kind classifies one injected transport fault.
+type Kind uint8
+
+// The injectable fault kinds. None means the attempt goes through clean.
+const (
+	None Kind = iota
+	// Drop loses the message: the receiver sees nothing and the sender
+	// retries after a modeled timeout+backoff.
+	Drop
+	// Corrupt delivers the frame with a flipped payload word; the
+	// receiver's checksum validation discards it and the sender retries.
+	Corrupt
+	// Duplicate delivers the frame twice; the receiver's sequence
+	// tracking discards the extra copy. No retry is needed, but the
+	// duplicate is real wire traffic.
+	Duplicate
+	// Stall delays the message: it is delivered intact, but the sender is
+	// charged one backoff unit of modeled time.
+	Stall
+)
+
+// String implements fmt.Stringer with the plan-syntax kind names.
+func (k Kind) String() string {
+	switch k {
+	case None:
+		return "none"
+	case Drop:
+		return "drop"
+	case Corrupt:
+		return "corrupt"
+	case Duplicate:
+		return "dup"
+	case Stall:
+		return "stall"
+	}
+	return fmt.Sprintf("Kind(%d)", uint8(k))
+}
+
+// kindByName is the inverse of Kind.String for plan parsing.
+var kindByName = map[string]Kind{
+	"drop": Drop, "corrupt": Corrupt, "dup": Duplicate, "duplicate": Duplicate, "stall": Stall,
+}
+
+// Stage identifies the pipeline stage a fault key belongs to, so a plan
+// can never confuse a remap payload message with an adaption
+// notification that happens to share (cycle, src, dst, attempt).
+type Stage uint8
+
+// The injectable stages.
+const (
+	// StageRemap is the data-remapping payload exchange (the real
+	// record frames moved by ExecuteRemap/ExecuteRemapStreaming).
+	StageRemap Stage = iota
+	// StageAdapt is the adaption-phase notification exchange charged by
+	// the propagate backends.
+	StageAdapt
+)
+
+// Plan schedules deterministic faults. The zero value (and any plan with
+// Rate 0) injects nothing; a nil *Plan disables the fault machinery
+// entirely, which is the byte-identical legacy path.
+type Plan struct {
+	// Seed selects the fault schedule; two seeds give independent
+	// schedules at the same rate.
+	Seed int64
+	// Rate is the fault probability per (message, attempt), in [0, 1].
+	Rate float64
+	// Kinds are the enabled fault kinds; empty enables all four.
+	Kinds []Kind
+}
+
+// allKinds is the default kind set of a plan that names none.
+var allKinds = []Kind{Drop, Corrupt, Duplicate, Stall}
+
+// Validate reports whether the plan's fields are usable.
+func (p *Plan) Validate() error {
+	if p == nil {
+		return nil
+	}
+	if !(p.Rate >= 0 && p.Rate <= 1) { // also rejects NaN
+		return fmt.Errorf("fault: rate %g outside [0, 1]", p.Rate)
+	}
+	for _, k := range p.Kinds {
+		if k == None || k > Stall {
+			return fmt.Errorf("fault: invalid kind %d in plan", k)
+		}
+	}
+	return nil
+}
+
+// Enabled reports whether the plan can ever inject a fault.
+func (p *Plan) Enabled() bool { return p != nil && p.Rate > 0 }
+
+// splitmix64 is the finalizer of the splitmix64 generator: a cheap,
+// well-mixed 64-bit hash.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// Fate returns the fault (or None) scheduled for one physical send
+// attempt. The attempt index is the per-(cycle, stage, src, dst) count of
+// hook consultations, so retries of a faulted message see fresh draws and
+// a bounded retry loop terminates with probability 1 for any Rate < 1.
+func (p *Plan) Fate(stage Stage, cycle, src, dst, attempt int) Kind {
+	if p == nil || p.Rate <= 0 {
+		return None
+	}
+	key := uint64(cycle)<<40 ^ uint64(stage)<<36 ^
+		uint64(uint16(src))<<20 ^ uint64(uint16(dst))<<4 ^ uint64(uint32(attempt))<<44
+	h := splitmix64(uint64(p.Seed) ^ splitmix64(key))
+	// 53-bit uniform in [0, 1).
+	u := float64(h>>11) / (1 << 53)
+	if u >= p.Rate {
+		return None
+	}
+	kinds := p.Kinds
+	if len(kinds) == 0 {
+		kinds = allKinds
+	}
+	return kinds[splitmix64(h)%uint64(len(kinds))]
+}
+
+// Hook returns the comm-layer transport hook with the stage and cycle
+// bound: a pure function the World consults once per physical send
+// attempt. A nil plan returns a nil hook.
+func (p *Plan) Hook(stage Stage, cycle int) func(src, dst, attempt int) Kind {
+	if p == nil {
+		return nil
+	}
+	return func(src, dst, attempt int) Kind { return p.Fate(stage, cycle, src, dst, attempt) }
+}
+
+// String renders the plan in the syntax Parse accepts.
+func (p *Plan) String() string {
+	if p == nil {
+		return ""
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "seed=%d,rate=%g", p.Seed, p.Rate)
+	if len(p.Kinds) > 0 {
+		names := make([]string, len(p.Kinds))
+		for i, k := range p.Kinds {
+			names[i] = k.String()
+		}
+		fmt.Fprintf(&b, ",kinds=%s", strings.Join(names, "+"))
+	}
+	return b.String()
+}
+
+// Parse builds a Plan from the CLI syntax
+//
+//	seed=<int>,rate=<float>[,kinds=drop+corrupt+dup+stall]
+//
+// An empty string returns a nil plan (faults disabled). Unknown keys,
+// malformed numbers, out-of-range rates, and unknown kinds are errors.
+func Parse(s string) (*Plan, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, nil
+	}
+	p := &Plan{}
+	for _, part := range strings.Split(s, ",") {
+		k, v, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok {
+			return nil, fmt.Errorf("fault: %q is not key=value", part)
+		}
+		switch k {
+		case "seed":
+			n, err := strconv.ParseInt(v, 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("fault: bad seed %q", v)
+			}
+			p.Seed = n
+		case "rate":
+			f, err := strconv.ParseFloat(v, 64)
+			if err != nil {
+				return nil, fmt.Errorf("fault: bad rate %q", v)
+			}
+			p.Rate = f
+		case "kinds":
+			for _, name := range strings.Split(v, "+") {
+				kind, ok := kindByName[strings.TrimSpace(name)]
+				if !ok {
+					return nil, fmt.Errorf("fault: unknown kind %q", name)
+				}
+				p.Kinds = append(p.Kinds, kind)
+			}
+		default:
+			return nil, fmt.Errorf("fault: unknown key %q", k)
+		}
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// Retry bounds the recovery effort of the transport and remap layers.
+type Retry struct {
+	// MsgAttempts is the number of physical send attempts the reliable
+	// transport makes per message before declaring the transfer failed
+	// (minimum 1: the initial send).
+	MsgAttempts int
+	// WindowRetries is the number of times a failed remap window (the
+	// streaming executor's commit unit; the whole exchange for the bulk
+	// executor) is re-executed before the transaction rolls back.
+	WindowRetries int
+}
+
+// DefaultRetry is the policy used when the config leaves Retry zero:
+// three attempts per message, two re-executions per failed window.
+func DefaultRetry() Retry { return Retry{MsgAttempts: 3, WindowRetries: 2} }
+
+// Budget derives a policy from one scalar retry budget b ≥ 0: b extra
+// attempts per message and b window re-executions. Budget(0) disables
+// all recovery — the first fault rolls the transaction back.
+func Budget(b int) Retry {
+	if b < 0 {
+		b = 0
+	}
+	return Retry{MsgAttempts: 1 + b, WindowRetries: b}
+}
+
+// Normalize clamps a policy to usable values: at least one send attempt,
+// no negative window retries. The zero value normalizes to DefaultRetry
+// so an unset Config.Retry keeps recovery on when a plan is set.
+func (r Retry) Normalize() Retry {
+	if r == (Retry{}) {
+		return DefaultRetry()
+	}
+	if r.MsgAttempts < 1 {
+		r.MsgAttempts = 1
+	}
+	if r.WindowRetries < 0 {
+		r.WindowRetries = 0
+	}
+	return r
+}
+
+// ExchangeModel replays a plan against a modeled (not physically moved)
+// message exchange — the propagate backends' notification rounds — so
+// modeled robustness is charged the same honest retry cost as the real
+// payload path. It keeps one attempt counter per (src, dst) pair within
+// its (stage, cycle) scope; ChargeExchange is called serially per round,
+// in canonical sorted pair order, so the counters and the resulting
+// charges are byte-identical at every worker count.
+//
+// Notifications are control-plane traffic the adaption algorithm cannot
+// lose without corrupting the mesh, so a pair that exhausts its attempt
+// budget is still modeled as delivered (escalation — e.g. rerouting —
+// charged as one extra backoff unit) and counted in Exhausted.
+type ExchangeModel struct {
+	plan     *Plan
+	stage    Stage
+	cycle    int
+	attempts int // per-message attempt budget
+	counter  map[uint64]int
+
+	// Resent and BackoffUnits accumulate the modeled retry traffic:
+	// extra message sends and Σ 2^try backoff units. Exhausted counts
+	// pairs that ran out of budget and escalated.
+	Resent       int64
+	BackoffUnits int64
+	Exhausted    int64
+}
+
+// Exchange returns a model for one (stage, cycle) scope at the given
+// per-message attempt budget. A nil plan returns nil.
+func (p *Plan) Exchange(stage Stage, cycle, msgAttempts int) *ExchangeModel {
+	if p == nil {
+		return nil
+	}
+	if msgAttempts < 1 {
+		msgAttempts = 1
+	}
+	return &ExchangeModel{plan: p, stage: stage, cycle: cycle, attempts: msgAttempts,
+		counter: make(map[uint64]int)}
+}
+
+// Resends simulates the delivery of one modeled message from src to dst
+// and returns the extra sends and backoff units it cost. Duplicates add
+// a resend without backoff; stalls a backoff unit without a resend;
+// drops and corruptions add both per failed attempt.
+func (x *ExchangeModel) Resends(src, dst int32) (extra, backoff int64) {
+	if x == nil || !x.plan.Enabled() {
+		return 0, 0
+	}
+	key := uint64(uint32(src))<<32 | uint64(uint32(dst))
+	for try := 0; ; try++ {
+		a := x.counter[key]
+		x.counter[key] = a + 1
+		switch x.plan.Fate(x.stage, x.cycle, int(src), int(dst), a) {
+		case None:
+			x.Resent += extra
+			x.BackoffUnits += backoff
+			return extra, backoff
+		case Duplicate:
+			extra++
+			x.Resent += extra
+			x.BackoffUnits += backoff
+			return extra, backoff
+		case Stall:
+			backoff++
+			x.Resent += extra
+			x.BackoffUnits += backoff
+			return extra, backoff
+		}
+		// Drop or Corrupt: the attempt is lost.
+		if try+1 >= x.attempts {
+			// Budget exhausted: the notification escalates and is
+			// delivered out of band — charged one extra backoff unit.
+			backoff++
+			x.Exhausted++
+			x.Resent += extra
+			x.BackoffUnits += backoff
+			return extra, backoff
+		}
+		extra++
+		backoff += 1 << min(try, 16)
+	}
+}

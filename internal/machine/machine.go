@@ -40,6 +40,12 @@ type Model struct {
 	Tlat float64
 	// Tsetup is the per-message setup time.
 	Tsetup float64
+	// RetryBackoff is the modeled time of one transport backoff unit: the
+	// timeout a sender waits before retransmitting a lost or corrupted
+	// message. The reliable path charges Σ 2^try units per recovered
+	// message (exponential backoff), so robustness has an honest modeled
+	// cost instead of free retries.
+	RetryBackoff float64
 	// ElemWords is the words of storage per element moved during
 	// remapping (the paper's M).
 	ElemWords int
@@ -69,6 +75,7 @@ func SP2() Model {
 		RebuildElem:    6e-6,
 		Tlat:           0.25e-6,
 		Tsetup:         40e-6,
+		RetryBackoff:   200e-6,
 		ElemWords:      50,
 		CompOp:         0.03e-6,
 		MemOp:          0.06e-6,

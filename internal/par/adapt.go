@@ -3,6 +3,7 @@ package par
 import (
 	"plum/internal/adapt"
 	"plum/internal/chunk"
+	"plum/internal/fault"
 	"plum/internal/machine"
 	"plum/internal/mesh"
 	"plum/internal/propagate"
@@ -41,6 +42,13 @@ type AdaptTimings struct {
 	// worker-invariant, Crit/MemCrit reflect the effective worker count
 	// actually used (Crit == Total on the serial fallbacks).
 	Ops propagate.Ops
+	// Retries, Backoff, and Exhausted are the modeled retry traffic a
+	// fault plan (Dist.Faults) injected into this pass's notification
+	// exchanges: extra message sends, Σ 2^try backoff units (charged at
+	// Model.RetryBackoff), and messages whose attempt budget ran out and
+	// escalated out of band. All zero without a plan, keeping the
+	// fault-free timings byte-identical.
+	Retries, Backoff, Exhausted int64
 }
 
 // propagator resolves the frontier-propagation backend: the Prop knob, or
@@ -50,6 +58,52 @@ func (d *Dist) propagator() propagate.Propagator {
 		return d.Prop
 	}
 	return propagate.NewBulkSync(d.Workers)
+}
+
+// adaptFaults arms prop with the cycle's modeled exchange-fault model and
+// returns it — nil when faults are off or the backend is not fault-aware.
+// One model spans the whole fault cycle (refine and coarsen continue the
+// same per-pair attempt sequence, so their draws are independent); when
+// faults are off the backend is explicitly disarmed, so a backend shared
+// across Dists or cycles never carries a stale model into a pass that
+// must stay byte-identical to the fault-free baseline.
+func (d *Dist) adaptFaults(prop propagate.Propagator) *fault.ExchangeModel {
+	fa, ok := prop.(propagate.FaultAware)
+	if !ok {
+		return nil
+	}
+	if !d.Faults.Enabled() {
+		fa.SetFaults(nil)
+		d.adaptX = nil
+		return nil
+	}
+	if d.adaptX == nil || d.adaptXCycle != d.FaultCycle {
+		d.adaptX = d.Faults.Exchange(fault.StageAdapt, d.FaultCycle, d.Retry.Normalize().MsgAttempts)
+		d.adaptXCycle = d.FaultCycle
+	}
+	fa.SetFaults(d.adaptX)
+	return d.adaptX
+}
+
+// faultTrace snapshots an ExchangeModel's cumulative counters so a pass
+// can report its own delta in AdaptTimings.
+type faultTrace struct{ resent, backoff, exhausted int64 }
+
+func snapshotFaults(x *fault.ExchangeModel) faultTrace {
+	if x == nil {
+		return faultTrace{}
+	}
+	return faultTrace{x.Resent, x.BackoffUnits, x.Exhausted}
+}
+
+// record writes the counter delta since the snapshot into tm.
+func (t faultTrace) record(x *fault.ExchangeModel, tm *AdaptTimings) {
+	if x == nil {
+		return
+	}
+	tm.Retries = x.Resent - t.resent
+	tm.Backoff = x.BackoffUnits - t.backoff
+	tm.Exhausted = x.Exhausted - t.exhausted
 }
 
 // patternOf mirrors the adaptor's pattern computation: local edges that
@@ -188,6 +242,8 @@ func (d *Dist) ParallelRefine(a *adapt.Adaptor, mdl machine.Model) (adapt.Refine
 	m := d.M
 	clk := machine.NewClock(d.P)
 	prop := d.propagator()
+	xm := d.adaptFaults(prop)
+	trace := snapshotFaults(xm)
 
 	// --- Target phase: error indicator over local edges. ---
 	initSt := d.Init()
@@ -268,6 +324,7 @@ func (d *Dist) ParallelRefine(a *adapt.Adaptor, mdl machine.Model) (adapt.Refine
 	res.Ops.AddSerial(int64(len(pairs)))
 	tm.Ops = PredictAdaptOps(int64(nEdges0), int64(nElems0), int64(st.NewElems),
 		int64(len(m.Edges)-edgesBefore), res, d.Workers)
+	trace.record(xm, &tm)
 	return st, tm
 }
 
@@ -311,6 +368,8 @@ func (d *Dist) ParallelCoarsen(a *adapt.Adaptor, mdl machine.Model) (adapt.Coars
 	m := d.M
 	clk := machine.NewClock(d.P)
 	prop := d.propagator()
+	xm := d.adaptFaults(prop)
+	trace := snapshotFaults(xm)
 
 	initSt := d.Init()
 	for r := 0; r < d.P; r++ {
@@ -403,6 +462,7 @@ func (d *Dist) ParallelCoarsen(a *adapt.Adaptor, mdl machine.Model) (adapt.Coars
 		mutations += removed[r] + created[r]
 	}
 	tm.Ops = PredictAdaptOps(int64(nEdges0), int64(nElems0), mutations, 0, res, d.Workers)
+	trace.record(xm, &tm)
 	return st, tm
 }
 

@@ -20,6 +20,7 @@ import (
 	"slices"
 
 	"plum/internal/chunk"
+	"plum/internal/fault"
 	"plum/internal/mesh"
 	"plum/internal/partition"
 	"plum/internal/propagate"
@@ -52,6 +53,28 @@ type Dist struct {
 	// canonical flow layout and this budget, never on Workers, so
 	// ExecuteRemapStreaming stays byte-identical at any worker count.
 	RemapWindow int64
+
+	// Faults is the deterministic fault-injection plan driving the remap
+	// payload exchange (internal/fault). nil — or a zero-rate plan —
+	// keeps the legacy fault-free exchange byte-identical. When enabled,
+	// the executors run transactionally: the owner array is checkpointed,
+	// failed windows are re-exchanged up to Retry.WindowRetries times, and
+	// exhausted retries roll the ownership back to the checkpoint with a
+	// typed *RemapError.
+	Faults *fault.Plan
+	// Retry bounds the recovery effort when Faults is enabled; the zero
+	// value normalizes to fault.DefaultRetry.
+	Retry fault.Retry
+	// FaultCycle scopes the fault keys to the enclosing balance cycle, so
+	// each cycle of a run draws an independent fault schedule.
+	FaultCycle int
+
+	// adaptX is the cycle's modeled fault model for the adaption
+	// notification exchanges, rebuilt when FaultCycle advances: refine and
+	// coarsen within one cycle continue the same per-pair attempt
+	// sequence, so their fault draws stay independent (see adaptFaults).
+	adaptX      *fault.ExchangeModel
+	adaptXCycle int
 
 	// owner[i] is the processor owning dual vertex i (level-0 element
 	// tree i, in dual.Build scan order).

@@ -43,7 +43,7 @@ func (d *Dist) Finalize(mdl machine.Model) (FinalizeResult, error) {
 
 	var gathered int64
 	w := comm.NewWorld(d.P)
-	w.Run(func(c *comm.Comm) {
+	if err := w.Run(func(c *comm.Comm) {
 		out := c.Gather(0, bufs[c.Rank()])
 		if c.Rank() != 0 {
 			return
@@ -70,7 +70,11 @@ func (d *Dist) Finalize(mdl machine.Model) (FinalizeResult, error) {
 			}
 		}
 		gathered = n
-	})
+	}); err != nil {
+		// The torn-record / out-of-range / double-gather panics surface
+		// here as a typed error instead of killing the run.
+		return FinalizeResult{}, &RemapError{Failure: FailGather, Window: -1, Tries: 1, Detail: err.Error()}
+	}
 	want := int64(m.NumActiveElems())
 	if gathered != want {
 		return FinalizeResult{}, fmt.Errorf("par: gathered %d elements, mesh has %d", gathered, want)

@@ -75,11 +75,15 @@ func (d *Dist) Number() GlobalNumbering {
 	vOff := make([]int64, d.P)
 	eOff := make([]int64, d.P)
 	w := comm.NewWorld(d.P)
-	w.Run(func(c *comm.Comm) {
+	if err := w.Run(func(c *comm.Comm) {
 		out := c.ExScan([]int64{vCount[c.Rank()], eCount[c.Rank()]})
 		vOff[c.Rank()] = out[0]
 		eOff[c.Rank()] = out[1]
-	})
+	}); err != nil {
+		// Uniform two-word vectors cannot mismatch; a failure here is a
+		// bug in the collectives, not a recoverable condition.
+		panic(err)
+	}
 
 	vNext := append([]int64(nil), vOff...)
 	for vi, o := range vertOwner {

@@ -1,0 +1,88 @@
+package par
+
+import "fmt"
+
+// RemapFailure classifies why a remap (or finalize) transaction failed.
+type RemapFailure int
+
+// The failure classes. Only FailTransfer is produced by injected faults —
+// it means the reliable exchange exhausted its per-message attempt budget
+// and the window retries, and the transaction rolled back cleanly. The
+// structural classes (torn records, broken conservation, double gathers, a
+// dead rank) indicate a bug or corruption the retry machinery must never
+// paper over, so they abort without retrying.
+const (
+	// FailTransfer: reliable transfers kept failing after every retry;
+	// ownership was rolled back to the pre-remap checkpoint.
+	FailTransfer RemapFailure = iota
+	// FailConservation: the received element count does not match the
+	// number of migrated elements.
+	FailConservation
+	// FailRank: a rank died mid-exchange (panic converted by comm.World.Run
+	// — torn records and window mismatches surface here).
+	FailRank
+	// FailGather: the finalization gather saw a torn record, an
+	// out-of-range element id, or an element gathered twice.
+	FailGather
+)
+
+// String names the failure class.
+func (f RemapFailure) String() string {
+	switch f {
+	case FailTransfer:
+		return "transfer-failed"
+	case FailConservation:
+		return "conservation"
+	case FailRank:
+		return "rank-failure"
+	case FailGather:
+		return "gather"
+	}
+	return fmt.Sprintf("RemapFailure(%d)", int(f))
+}
+
+// RemapError is the typed error of the transactional remap path. Callers
+// (core.Framework) use Failure and RolledBack to decide between graceful
+// degradation — keep the old partition, skip the remap charge, continue
+// the cycle — and aborting the run.
+type RemapError struct {
+	// Failure classifies the fault.
+	Failure RemapFailure
+	// Window is the canonical streaming-window index that failed, or -1
+	// for the bulk exchange / the finalize gather.
+	Window int
+	// Tries is the number of times the failing window was exchanged.
+	Tries int
+	// RolledBack reports that the ownership map was restored to its
+	// pre-remap state (always true for FailTransfer; structural failures
+	// before any window committed also roll back trivially).
+	RolledBack bool
+	// Detail is the underlying diagnostic.
+	Detail string
+}
+
+// Error implements the error interface.
+func (e *RemapError) Error() string {
+	s := fmt.Sprintf("par: remap %s", e.Failure)
+	if e.Window >= 0 {
+		s += fmt.Sprintf(" (window %d", e.Window)
+		if e.Tries > 1 {
+			s += fmt.Sprintf(", %d tries", e.Tries)
+		}
+		s += ")"
+	} else if e.Tries > 1 {
+		s += fmt.Sprintf(" (%d tries)", e.Tries)
+	}
+	if e.RolledBack {
+		s += ", rolled back"
+	}
+	if e.Detail != "" {
+		s += ": " + e.Detail
+	}
+	return s
+}
+
+// Retryable reports whether the failure is the kind the transaction layer
+// retries (transport-level transfer failures, as opposed to structural
+// corruption).
+func (e *RemapError) Retryable() bool { return e.Failure == FailTransfer }

@@ -5,6 +5,7 @@ import (
 
 	"plum/internal/chunk"
 	"plum/internal/comm"
+	"plum/internal/fault"
 	"plum/internal/machine"
 )
 
@@ -38,6 +39,16 @@ type RemapResult struct {
 	// effective worker count actually used (Crit == Total on the serial
 	// fallback below SerialCutoff elements).
 	Ops Ops
+	// Retries and RetryWords count the extra physical frames (and their
+	// payload words, in record words on the wire) the reliable exchange
+	// sent recovering injected faults; WindowRetries the window
+	// re-executions. RetryTime is the slowest rank's modeled recovery
+	// charge — resent messages at MsgTime plus exponential-backoff units
+	// at Model.RetryBackoff — which is also folded into CommTime/Total.
+	// All stay zero without an enabled fault plan.
+	Retries, RetryWords int64
+	WindowRetries       int
+	RetryTime           float64
 }
 
 // ExecuteRemap migrates element trees whose dual vertices change owner
@@ -63,6 +74,13 @@ type RemapResult struct {
 // materialized before anything is exchanged, so PeakWords equals the
 // total payload. ExecuteRemapStreaming produces the identical result with
 // one window of payload in flight at a time.
+//
+// With Dist.Faults enabled the exchange runs transactionally over the
+// reliable transport: the whole exchange is one commit unit, failed
+// exchanges are re-run up to Retry.WindowRetries times, and exhausted
+// retries return a *RemapError with RolledBack set and the ownership map
+// untouched. Without a plan the legacy plain exchange runs byte-identical
+// to pre-fault behavior.
 func (d *Dist) ExecuteRemap(newOwner []int32, mdl machine.Model) (RemapResult, error) {
 	if len(newOwner) != len(d.owner) {
 		return RemapResult{}, fmt.Errorf("par: newOwner has %d entries, want %d", len(newOwner), len(d.owner))
@@ -72,49 +90,120 @@ func (d *Dist) ExecuteRemap(newOwner []int32, mdl machine.Model) (RemapResult, e
 	ew := EffectiveWorkers(len(m.Elems), d.Workers)
 	pl := collectFlows(m, d.rootDual, d.owner, newOwner, p, ew)
 
-	// Exchange for real over the message-passing runtime and verify
-	// conservation on the receive side. Each rank's send buffers are
-	// zero-copy subslices of the flat record buffer: rank src owns the
-	// contiguous flow range [src·p, (src+1)·p).
-	w := comm.NewWorld(p)
-	recvCount := make([]int64, p)
-	w.Run(func(c *comm.Comm) {
-		src := c.Rank()
-		bufs := make([][]int64, p)
-		for dst := 0; dst < p; dst++ {
-			bufs[dst] = pl.flowRecs(src*p + dst)
-		}
-		got := c.Alltoallv(bufs)
-		var n int64
-		for from, data := range got {
-			if from == src {
-				continue
-			}
-			if len(data)%recWords != 0 {
-				panic("par: torn element record")
-			}
-			n += int64(len(data) / recWords)
-		}
-		recvCount[src] = n
-	})
-	var recvTotal int64
-	for _, n := range recvCount {
-		recvTotal += n
-	}
-	if recvTotal != pl.moved {
-		return RemapResult{}, fmt.Errorf("par: moved %d elements but received %d", pl.moved, recvTotal)
-	}
-
 	res := RemapResult{
 		Moved:     pl.moved,
 		Sets:      pl.sets,
 		PeakWords: pl.moved * recWords, // the whole buffer is in flight at once
 		Ops:       PredictRemapOps(len(m.Elems), pl.moved, pl.sets, p, d.Workers),
 	}
-	d.accountRemap(pl.flowStart, mdl, &res)
 
+	// Exchange for real over the message-passing runtime and verify
+	// conservation on the receive side. Each rank's send buffers are
+	// zero-copy subslices of the flat record buffer: rank src owns the
+	// contiguous flow range [src·p, (src+1)·p).
+	if !d.Faults.Enabled() {
+		w := comm.NewWorld(p)
+		recvCount := make([]int64, p)
+		if err := w.Run(func(c *comm.Comm) {
+			src := c.Rank()
+			bufs := make([][]int64, p)
+			for dst := 0; dst < p; dst++ {
+				bufs[dst] = pl.flowRecs(src*p + dst)
+			}
+			got := c.Alltoallv(bufs)
+			var n int64
+			for from, data := range got {
+				if from == src {
+					continue
+				}
+				if len(data)%recWords != 0 {
+					panic("par: torn element record")
+				}
+				n += int64(len(data) / recWords)
+			}
+			recvCount[src] = n
+		}); err != nil {
+			return RemapResult{}, &RemapError{Failure: FailRank, Window: -1, Tries: 1, RolledBack: true, Detail: err.Error()}
+		}
+		var recvTotal int64
+		for _, n := range recvCount {
+			recvTotal += n
+		}
+		if recvTotal != pl.moved {
+			return RemapResult{}, &RemapError{Failure: FailConservation, Window: -1, Tries: 1, RolledBack: true,
+				Detail: fmt.Sprintf("moved %d elements but received %d", pl.moved, recvTotal)}
+		}
+		d.accountRemap(pl.flowStart, mdl, &res, nil)
+		copy(d.owner, newOwner)
+		return res, nil
+	}
+
+	// Transactional path: the whole exchange is one window.
+	retry := d.Retry.Normalize()
+	w := comm.NewWorld(p)
+	w.SetFaults(d.Faults.Hook(fault.StageRemap, d.FaultCycle), retry.MsgAttempts)
+	var recvTotal int64
+	tries := 0
+	for {
+		tries++
+		recvCount := make([]int64, p)
+		failCount := make([]int64, p)
+		if err := w.Run(func(c *comm.Comm) {
+			src := c.Rank()
+			bufs := make([][]int64, p)
+			for dst := 0; dst < p; dst++ {
+				bufs[dst] = pl.flowRecs(src*p + dst)
+			}
+			got, failed := c.AlltoallvReliable(bufs)
+			failCount[src] = int64(len(failed))
+			var n int64
+			for from, data := range got {
+				if from == src {
+					continue
+				}
+				if len(data)%recWords != 0 {
+					panic("par: torn element record")
+				}
+				n += int64(len(data) / recWords)
+			}
+			recvCount[src] = n
+		}); err != nil {
+			return RemapResult{}, &RemapError{Failure: FailRank, Window: -1, Tries: tries, RolledBack: true, Detail: err.Error()}
+		}
+		var nfail int64
+		for _, f := range failCount {
+			nfail += f
+		}
+		if nfail == 0 {
+			for _, n := range recvCount {
+				recvTotal += n
+			}
+			break
+		}
+		if tries > retry.WindowRetries {
+			return RemapResult{}, &RemapError{Failure: FailTransfer, Window: -1, Tries: tries, RolledBack: true,
+				Detail: fmt.Sprintf("%d transfers failed after %d attempts per message", nfail, retry.MsgAttempts)}
+		}
+	}
+	res.WindowRetries = tries - 1
+	if recvTotal != pl.moved {
+		return RemapResult{}, &RemapError{Failure: FailConservation, Window: -1, Tries: tries, RolledBack: true,
+			Detail: fmt.Sprintf("moved %d elements but received %d", pl.moved, recvTotal)}
+	}
+	for _, s := range w.RankStats() {
+		res.Retries += s.Retries
+		res.RetryWords += s.RetryWords
+	}
+	resends, backoff := w.RetryCounters()
+	d.accountRemap(pl.flowStart, mdl, &res, &retryCharges{resends: resends, backoff: backoff})
 	copy(d.owner, newOwner)
 	return res, nil
+}
+
+// retryCharges carries the per-(src,dst) recovery counters of one reliable
+// exchange (comm.World.RetryCounters) into the machine-model accounting.
+type retryCharges struct {
+	resends, backoff []int64
 }
 
 // accountRemap fills the machine-model side of a RemapResult — WordsMoved,
@@ -136,7 +225,17 @@ func (d *Dist) ExecuteRemap(newOwner []int32, mdl machine.Model) (RemapResult, e
 // SerialCutoff, so chunk.For takes its inline single-chunk path and no
 // goroutines are spawned for a few thousand scalar adds (PredictRemapOps
 // charges this phase serially).
-func (d *Dist) accountRemap(flowStart []int64, mdl machine.Model, res *RemapResult) {
+//
+// When the reliable exchange recovered injected faults, rc carries its
+// per-pair retry counters: each resent message is charged another MsgTime
+// of the pair's modeled volume and each backoff unit Model.RetryBackoff,
+// on the sending rank, inside the same send-phase superstep — so retry
+// cost lands on CommTime/Total exactly where a real sender would stall.
+// The per-pair counters come from deterministic single-writer slots, so
+// the charges are byte-identical at any worker count. A nil rc (the
+// fault-free path) adds no terms at all, keeping the float streams
+// bit-exact with pre-fault output.
+func (d *Dist) accountRemap(flowStart []int64, mdl machine.Model, res *RemapResult, rc *retryCharges) {
 	p := d.P
 	acctW := EffectiveWorkers(p*p, d.Workers)
 	sendWords := make([]int64, p)
@@ -144,18 +243,35 @@ func (d *Dist) accountRemap(flowStart []int64, mdl machine.Model, res *RemapResu
 	recvElems := make([]int64, p)
 	packT := make([]float64, p)
 	sendT := make([]float64, p)
+	retryT := make([]float64, p)
 	chunk.For(p, acctW, func(_, lo, hi int) {
 		for src := lo; src < hi; src++ {
 			for dst := 0; dst < p; dst++ {
 				elems := flowStart[src*p+dst+1] - flowStart[src*p+dst]
-				if elems == 0 {
-					continue
+				var words int64
+				if elems > 0 {
+					words = elems * int64(mdl.ElemWords)
+					words += words / 32 // shared-structure perturbation ≈ 3%
+					sendWords[src] += words
+					sendT[src] += float64(words)*mdl.PackWord + mdl.MsgTime(words)
+					packT[src] += float64(words) * mdl.PackWord
 				}
-				words := elems * int64(mdl.ElemWords)
-				words += words / 32 // shared-structure perturbation ≈ 3%
-				sendWords[src] += words
-				sendT[src] += float64(words)*mdl.PackWord + mdl.MsgTime(words)
-				packT[src] += float64(words) * mdl.PackWord
+				if rc != nil {
+					// Empty flows still ride the wire as zero-payload
+					// frames, so their retries cost a Tsetup each.
+					pair := src*p + dst
+					var rt float64
+					if n := rc.resends[pair]; n > 0 {
+						rt += float64(n) * mdl.MsgTime(words)
+					}
+					if b := rc.backoff[pair]; b > 0 {
+						rt += float64(b) * mdl.RetryBackoff
+					}
+					if rt > 0 {
+						sendT[src] += rt
+						retryT[src] += rt
+					}
+				}
 			}
 		}
 	})
@@ -179,6 +295,7 @@ func (d *Dist) accountRemap(flowStart []int64, mdl machine.Model, res *RemapResu
 		res.WordsMoved += sendWords[r]
 		clk.Add(r, sendT[r])
 		res.PackTime = max(res.PackTime, packT[r])
+		res.RetryTime = max(res.RetryTime, retryT[r])
 	}
 	clk.Barrier()
 	res.CommTime = clk.Elapsed() - res.PackTime

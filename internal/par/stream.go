@@ -2,8 +2,10 @@ package par
 
 import (
 	"fmt"
+	"slices"
 
 	"plum/internal/comm"
+	"plum/internal/fault"
 	"plum/internal/machine"
 )
 
@@ -68,6 +70,22 @@ func windowBudget(flowStart []int64, override int64) int64 {
 	return max(largest*recWords, (total+DefaultWindowFraction-1)/DefaultWindowFraction)
 }
 
+// windowBufs builds rank src's send slices for window [f0, f1) out of the
+// packed window buffer.
+func windowBufs(fi *flowIndex, win remapWindow, bufW []int64, p, src int) [][]int64 {
+	base := fi.flowStart[win.f0]
+	bufs := make([][]int64, p)
+	for f := win.f0; f < win.f1; f++ {
+		if f/p != src {
+			continue
+		}
+		lo := (fi.flowStart[f] - base) * recWords
+		hi := (fi.flowStart[f+1] - base) * recWords
+		bufs[f%p] = bufW[lo:hi]
+	}
+	return bufs
+}
+
 // ExecuteRemapStreaming migrates element trees whose dual vertices change
 // owner under newOwner, like ExecuteRemap, but streams the payload: flows
 // are packed, exchanged over the comm runtime, and verified one window at
@@ -78,6 +96,13 @@ func windowBudget(flowStart []int64, override int64) int64 {
 // times, op accounting — is byte-identical to the bulk-synchronous path
 // at any worker count. The window budget comes from Dist.RemapWindow
 // (≤ 0 = adaptive, see windowBudget).
+//
+// With Dist.Faults enabled the stream runs transactionally: the owner
+// array is checkpointed up front, each verified window immediately commits
+// its flows' ownership, a window whose reliable transfers failed is
+// re-exchanged up to Retry.WindowRetries times, and exhausted retries (or
+// structural failures) roll every committed window back to the checkpoint
+// and return a *RemapError with RolledBack set.
 func (d *Dist) ExecuteRemapStreaming(newOwner []int32, mdl machine.Model) (RemapResult, error) {
 	if len(newOwner) != len(d.owner) {
 		return RemapResult{}, fmt.Errorf("par: newOwner has %d entries, want %d", len(newOwner), len(d.owner))
@@ -92,6 +117,22 @@ func (d *Dist) ExecuteRemapStreaming(newOwner []int32, mdl machine.Model) (Remap
 		Sets:  fi.sets,
 		Ops:   PredictRemapOps(len(m.Elems), fi.moved, fi.sets, p, d.Workers),
 	}
+	faulty := d.Faults.Enabled()
+	retry := d.Retry.Normalize()
+
+	// The transaction checkpoint: with faults on, each verified window
+	// commits its ownership immediately, so a mid-stream abort must be
+	// able to restore the pre-remap state.
+	var checkpoint []int32
+	if faulty {
+		checkpoint = append([]int32(nil), d.owner...)
+	}
+	rollback := func(e *RemapError) (RemapResult, error) {
+		if checkpoint != nil {
+			copy(d.owner, checkpoint)
+		}
+		return RemapResult{}, e
+	}
 
 	// Stream the windows: pack into the reused buffer, exchange the
 	// window's flows for real, and verify each received flow against the
@@ -101,9 +142,12 @@ func (d *Dist) ExecuteRemapStreaming(newOwner []int32, mdl machine.Model) (Remap
 	// slot and the Runs are sequential, so there is no contention.
 	wins := planWindows(fi.flowStart, windowBudget(fi.flowStart, d.RemapWindow))
 	w := comm.NewWorld(p)
+	if faulty {
+		w.SetFaults(d.Faults.Hook(fault.StageRemap, d.FaultCycle), retry.MsgAttempts)
+	}
 	recvCount := make([]int64, p)
 	var buf []int64
-	for _, win := range wins {
+	for wi, win := range wins {
 		base := fi.flowStart[win.f0]
 		words := (fi.flowStart[win.f1] - base) * recWords
 		res.PeakWords = max(res.PeakWords, words)
@@ -112,47 +156,110 @@ func (d *Dist) ExecuteRemapStreaming(newOwner []int32, mdl machine.Model) (Remap
 		}
 		bufW := buf[:words]
 		fi.packRange(m, d.rootDual, win.f0, win.f1, bufW, d.Workers)
-		w.Run(func(c *comm.Comm) {
-			src := c.Rank()
-			bufs := make([][]int64, p)
-			for f := win.f0; f < win.f1; f++ {
-				if f/p != src {
-					continue
+		if !faulty {
+			if err := w.Run(func(c *comm.Comm) {
+				src := c.Rank()
+				got := c.Alltoallv(windowBufs(&fi, win, bufW, p, src))
+				// Per-window rebuild verification: every received flow must
+				// match the plan's record count exactly — torn or misrouted
+				// windows fail here, not at the final conservation check.
+				for from, data := range got {
+					if from == src {
+						continue
+					}
+					var want int64
+					if f := from*p + src; f >= win.f0 && f < win.f1 {
+						want = fi.flowStart[f+1] - fi.flowStart[f]
+					}
+					if int64(len(data)) != want*recWords {
+						panic(fmt.Sprintf("par: window flow %d->%d carried %d words, want %d",
+							from, src, len(data), want*recWords))
+					}
+					recvCount[src] += want
 				}
-				lo := (fi.flowStart[f] - base) * recWords
-				hi := (fi.flowStart[f+1] - base) * recWords
-				bufs[f%p] = bufW[lo:hi]
+			}); err != nil {
+				return RemapResult{}, &RemapError{Failure: FailRank, Window: wi, Tries: 1, RolledBack: true, Detail: err.Error()}
 			}
-			got := c.Alltoallv(bufs)
-			// Per-window rebuild verification: every received flow must
-			// match the plan's record count exactly — torn or misrouted
-			// windows fail here, not at the final conservation check.
-			for from, data := range got {
-				if from == src {
-					continue
+			continue
+		}
+
+		// Transactional window: exchange over the reliable path, retry on
+		// failed transfers, commit ownership on success.
+		tries := 0
+		for {
+			tries++
+			winRecv := make([]int64, p)
+			failCount := make([]int64, p)
+			if err := w.Run(func(c *comm.Comm) {
+				src := c.Rank()
+				got, failed := c.AlltoallvReliable(windowBufs(&fi, win, bufW, p, src))
+				failCount[src] = int64(len(failed))
+				for from, data := range got {
+					if from == src || slices.Contains(failed, from) {
+						continue
+					}
+					var want int64
+					if f := from*p + src; f >= win.f0 && f < win.f1 {
+						want = fi.flowStart[f+1] - fi.flowStart[f]
+					}
+					if int64(len(data)) != want*recWords {
+						panic(fmt.Sprintf("par: window flow %d->%d carried %d words, want %d",
+							from, src, len(data), want*recWords))
+					}
+					winRecv[src] += want
 				}
-				var want int64
-				if f := from*p + src; f >= win.f0 && f < win.f1 {
-					want = fi.flowStart[f+1] - fi.flowStart[f]
-				}
-				if int64(len(data)) != want*recWords {
-					panic(fmt.Sprintf("par: window flow %d->%d carried %d words, want %d",
-						from, src, len(data), want*recWords))
-				}
-				recvCount[src] += want
+			}); err != nil {
+				return rollback(&RemapError{Failure: FailRank, Window: wi, Tries: tries, RolledBack: true, Detail: err.Error()})
 			}
-		})
+			var nfail int64
+			for _, f := range failCount {
+				nfail += f
+			}
+			if nfail == 0 {
+				for r, n := range winRecv {
+					recvCount[r] += n
+				}
+				break
+			}
+			if tries > retry.WindowRetries {
+				return rollback(&RemapError{Failure: FailTransfer, Window: wi, Tries: tries, RolledBack: true,
+					Detail: fmt.Sprintf("%d transfers failed after %d attempts per message", nfail, retry.MsgAttempts)})
+			}
+			res.WindowRetries++
+		}
+		// Commit the window: every element in its flows now belongs to the
+		// flow's destination rank. Writes are idempotent per dual vertex
+		// and cover exactly the vertices whose owner changes, so after the
+		// last window the ownership map equals newOwner.
+		for f := win.f0; f < win.f1; f++ {
+			dst := int32(f % p)
+			for _, ei := range fi.elems[fi.flowStart[f]:fi.flowStart[f+1]] {
+				d.owner[d.rootDual[m.Elems[ei].Root]] = dst
+			}
+		}
 	}
 	var recvTotal int64
 	for _, n := range recvCount {
 		recvTotal += n
 	}
 	if recvTotal != fi.moved {
-		return RemapResult{}, fmt.Errorf("par: moved %d elements but received %d", fi.moved, recvTotal)
+		return rollback(&RemapError{Failure: FailConservation, Window: -1, Tries: 1, RolledBack: true,
+			Detail: fmt.Sprintf("moved %d elements but received %d", fi.moved, recvTotal)})
 	}
 
-	d.accountRemap(fi.flowStart, mdl, &res)
+	var rc *retryCharges
+	if faulty {
+		for _, s := range w.RankStats() {
+			res.Retries += s.Retries
+			res.RetryWords += s.RetryWords
+		}
+		resends, backoff := w.RetryCounters()
+		rc = &retryCharges{resends: resends, backoff: backoff}
+	}
+	d.accountRemap(fi.flowStart, mdl, &res, rc)
 
-	copy(d.owner, newOwner)
+	if !faulty {
+		copy(d.owner, newOwner)
+	}
 	return res, nil
 }

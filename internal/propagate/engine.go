@@ -4,6 +4,7 @@ import (
 	"slices"
 
 	"plum/internal/chunk"
+	"plum/internal/fault"
 	"plum/internal/machine"
 )
 
@@ -150,11 +151,30 @@ func runRounds(w World, frontier []int32, workers int, clk *machine.Clock, mdl m
 	return res
 }
 
+// Both built-in backends are fault-aware: a set ExchangeModel replays the
+// fault plan against each charged message and bills the sender the
+// modeled recovery — extra sends at the message's own MsgTime, backoff
+// units at Model.RetryBackoff. A nil model (the default) adds zero terms,
+// keeping the fault-free clock bit-identical.
+var (
+	_ FaultAware = (*BulkSync)(nil)
+	_ FaultAware = (*Aggregated)(nil)
+)
+
+// retryCharge bills rank src the modeled recovery cost of one message of
+// the given word count: extra·MsgTime(words) + backoff·RetryBackoff.
+func retryCharge(clk *machine.Clock, mdl machine.Model, src int, words, extra, backoff int64) {
+	if extra != 0 || backoff != 0 {
+		clk.Add(src, float64(extra)*mdl.MsgTime(words)+float64(backoff)*mdl.RetryBackoff)
+	}
+}
+
 // BulkSync is the paper's bulk-synchronous exchange: every nonempty
 // (src, dst) rank pair costs its own message per round, charged to the
 // sender.
 type BulkSync struct {
 	workers int
+	faults  *fault.ExchangeModel
 }
 
 // NewBulkSync returns the bulk-synchronous backend at the given worker
@@ -164,18 +184,25 @@ func NewBulkSync(workers int) *BulkSync { return &BulkSync{workers: workers} }
 // Name implements Propagator.
 func (b *BulkSync) Name() string { return "bulksync" }
 
+// SetFaults implements FaultAware.
+func (b *BulkSync) SetFaults(x *fault.ExchangeModel) { b.faults = x }
+
 // Run implements Propagator.
 func (b *BulkSync) Run(w World, frontier []int32, clk *machine.Clock, mdl machine.Model) Result {
 	return runRounds(w, frontier, b.workers, clk, mdl, b)
 }
 
 // ChargeExchange implements Propagator: one message per (src, dst) batch,
-// Tsetup plus the per-word copy charged to the sender.
+// Tsetup plus the per-word copy charged to the sender. With a fault model
+// set, each batch message additionally draws its fate per (src, dst) pair
+// and the sender is billed the modeled retries.
 func (b *BulkSync) ChargeExchange(clk *machine.Clock, mdl machine.Model, pairs []PairWords) (msgs, words int64) {
 	for _, pw := range pairs {
 		clk.Add(int(pw.Src), mdl.MsgTime(pw.Words))
 		msgs++
 		words += pw.Words
+		extra, backoff := b.faults.Resends(pw.Src, pw.Dst)
+		retryCharge(clk, mdl, int(pw.Src), pw.Words, extra, backoff)
 	}
 	return msgs, words
 }
@@ -189,6 +216,7 @@ func (b *BulkSync) ChargeExchange(clk *machine.Clock, mdl machine.Model, pairs [
 // term rewards at scale.
 type Aggregated struct {
 	workers int
+	faults  *fault.ExchangeModel
 }
 
 // NewAggregated returns the aggregating backend at the given worker knob
@@ -198,13 +226,26 @@ func NewAggregated(workers int) *Aggregated { return &Aggregated{workers: worker
 // Name implements Propagator.
 func (a *Aggregated) Name() string { return "aggregated" }
 
+// SetFaults implements FaultAware.
+func (a *Aggregated) SetFaults(x *fault.ExchangeModel) { a.faults = x }
+
 // Run implements Propagator.
 func (a *Aggregated) Run(w World, frontier []int32, clk *machine.Clock, mdl machine.Model) Result {
 	return runRounds(w, frontier, a.workers, clk, mdl, a)
 }
 
+// aggDst is the fault-key destination of an aggregated combined message,
+// which has no single receiver: the sentinel keys the schedule per source
+// without colliding with any real rank (the fate key truncates dst to 16
+// bits, and ranks never reach 0xffff).
+const aggDst = -1
+
 // ChargeExchange implements Propagator: one combined message per active
-// source, per-word drain on every destination.
+// source, per-word drain on every destination. The fault unit follows the
+// message model: with a fault model set, each combined message draws one
+// fate (keyed on the source and the aggDst sentinel) and a resend repays
+// the whole combined MsgTime — aggregation batches the retries exactly as
+// it batches the sends.
 func (a *Aggregated) ChargeExchange(clk *machine.Clock, mdl machine.Model, pairs []PairWords) (msgs, words int64) {
 	p := clk.P()
 	out := make([]int64, p)
@@ -218,6 +259,8 @@ func (a *Aggregated) ChargeExchange(clk *machine.Clock, mdl machine.Model, pairs
 		if out[r] > 0 {
 			clk.Add(r, mdl.MsgTime(out[r]))
 			msgs++
+			extra, backoff := a.faults.Resends(int32(r), aggDst)
+			retryCharge(clk, mdl, r, out[r], extra, backoff)
 		}
 		if in[r] > 0 {
 			clk.Add(r, float64(in[r])*mdl.Tlat)

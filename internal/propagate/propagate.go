@@ -32,6 +32,7 @@ import (
 	"slices"
 
 	"plum/internal/chunk"
+	"plum/internal/fault"
 	"plum/internal/machine"
 )
 
@@ -238,6 +239,18 @@ type Propagator interface {
 	// AggregatePairs), and returns the messages and words counted. It
 	// does not barrier; callers own the superstep structure.
 	ChargeExchange(clk *machine.Clock, mdl machine.Model, pairs []PairWords) (msgs, words int64)
+}
+
+// FaultAware is the optional capability of a backend whose exchanges can
+// be charged modeled retry traffic from a deterministic fault plan (see
+// fault.ExchangeModel). Both built-in backends implement it. Callers
+// discover it by type assertion — it is deliberately not part of the
+// Propagator interface, so third-party backends stay valid — and disarm
+// with SetFaults(nil). Because ChargeExchange runs serially in canonical
+// (src, dst) pair order, the model's attempt counters and the resulting
+// charges are byte-identical at every worker count.
+type FaultAware interface {
+	SetFaults(x *fault.ExchangeModel)
 }
 
 // Names lists the available backends, default first — the iteration
