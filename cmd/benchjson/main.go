@@ -121,6 +121,7 @@ func main() {
 	remapOut := flag.String("remapout", "BENCH_remap.json", "remap execution output path ('-' for stdout, '' to skip)")
 	adaptOut := flag.String("adaptout", "BENCH_adapt.json", "adaption engine output path ('-' for stdout, '' to skip)")
 	cycleOut := flag.String("cycleout", "BENCH_cycle.json", "overlapped-cycle output path ('-' for stdout, '' to skip)")
+	commOut := flag.String("commout", "BENCH_comm.json", "exchange-schedule output path ('-' for stdout, '' to skip)")
 	k := flag.Int("k", 16, "partition count for the cut and refinement benches")
 	flag.Parse()
 
@@ -195,6 +196,9 @@ func main() {
 	}
 	if *cycleOut != "" {
 		runCycle(newReport, workerCounts, *cycleOut)
+	}
+	if *commOut != "" {
+		runComm(newReport, workerCounts, *commOut)
 	}
 	if *refineOut == "" && *remapOut == "" {
 		return
@@ -349,6 +353,60 @@ func runAdapt(newReport func() Report, workerCounts []int, path string) {
 		}})
 	}
 	measure(&rep, exhibits, workerCounts)
+	write(&rep, path)
+}
+
+// runComm measures the exchange-schedule layer: one full ExecuteRemap per
+// schedule on a node-topology machine (4 ranks per node), against a
+// half-rotated ownership on a k=16 box fixture. The owner array and
+// payload bytes are identical across the three schedules — only the wire
+// framing and the modeled charges differ — so the wall-time rows compare
+// the schedules' host overhead. The Modeled map carries the high-P sweep
+// of -exp comm (machine.ChargeFlows on the synthetic SFC + hypercube flow
+// set): per (P, ranks-per-node, exchange) cell the setup count, the
+// modeled setup seconds, and the exchange's elapsed seconds — the
+// crossover figures this PR claims, identical at every worker count.
+func runComm(newReport func() Report, workerCounts []int, path string) {
+	const k = 16
+	m := meshgen.Box(10, 10, 10, geom.Vec3{X: 1, Y: 1, Z: 1})
+	g := dual.Build(m)
+	raw := partition.Partition(g, k, partition.MethodHilbertSFC)
+	d := par.NewDist(m, k, raw)
+	orig := d.Owners()
+	newOwner := append([]int32(nil), orig...)
+	for v := range newOwner {
+		if v%2 == 0 {
+			newOwner[v] = (newOwner[v] + 1) % int32(k)
+		}
+	}
+	mdl := machine.SP2()
+	mdl.Topo = machine.NodeTopology(4)
+	var exhibits []exhibit
+	for _, name := range machine.ExchangeNames {
+		x, err := machine.ExchangeByName(name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		exhibits = append(exhibits, exhibit{"ExecuteRemap/" + name, func(w int, b *testing.B) {
+			d.Workers = w
+			d.Exchange = x
+			for i := 0; i < b.N; i++ {
+				d.SetOwners(orig)
+				if _, err := d.ExecuteRemap(newOwner, mdl); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}})
+	}
+	rep := newReport()
+	measure(&rep, exhibits, workerCounts)
+	rep.Modeled = map[string]float64{}
+	for _, r := range experiments.RunCommTable("", 0).Rows {
+		key := fmt.Sprintf("P%d/rpn%d/%s", r.P, r.RPN, r.Exchange)
+		rep.Modeled[key+"/setups"] = float64(r.Setups)
+		rep.Modeled[key+"/setup_s"] = r.SetupTime
+		rep.Modeled[key+"/comm_s"] = r.CommTime
+	}
 	write(&rep, path)
 }
 

@@ -15,17 +15,20 @@ import (
 
 import (
 	"plum/internal/experiments"
+	"plum/internal/machine"
 	"plum/internal/propagate"
 	"plum/internal/refine"
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: table1, fig8, fig9, fig10, fig11, fig12, extension, partitioners, remap, adapt, overlap, faults, all")
+	exp := flag.String("exp", "all", "experiment to run: table1, fig8, fig9, fig10, fig11, fig12, extension, partitioners, remap, adapt, overlap, faults, comm, all")
 	k := flag.Int("k", 16, "partition count for -exp partitioners")
 	faultSeed := flag.Int64("fault-seed", 7, "fault schedule seed for -exp faults")
 	workers := flag.Int("workers", 0, "worker goroutines for parallel partitioning, refinement, and adaption phases (0 = GOMAXPROCS)")
 	refiner := flag.String("refiner", "", "boundary-refinement backend for -exp partitioners: "+strings.Join(refine.Names, ", ")+" ('' = per-backend default)")
 	propg := flag.String("propagator", "", "frontier-propagation backend for -exp adapt: "+strings.Join(propagate.Names, ", ")+" ('' = bulksync)")
+	exchange := flag.String("exchange", "", "remap exchange schedule for -exp comm: "+strings.Join(machine.ExchangeNames, ", ")+" ('' = sweep all)")
+	nodesize := flag.Int("nodesize", 0, "ranks per node for -exp comm (0 = sweep the default axis)")
 	flag.Parse()
 	if *k < 1 {
 		fmt.Fprintf(os.Stderr, "invalid -k %d: need at least 1 partition\n", *k)
@@ -37,6 +40,14 @@ func main() {
 	}
 	if _, ok := propagate.ByName(*propg, *workers); !ok {
 		fmt.Fprintf(os.Stderr, "unknown propagator %q (have %s)\n", *propg, strings.Join(propagate.Names, ", "))
+		os.Exit(2)
+	}
+	if _, err := machine.ExchangeByName(*exchange); err != nil {
+		fmt.Fprintf(os.Stderr, "unknown exchange %q (have %s)\n", *exchange, strings.Join(machine.ExchangeNames, ", "))
+		os.Exit(2)
+	}
+	if *nodesize < 0 {
+		fmt.Fprintf(os.Stderr, "invalid -nodesize %d: need 0 (sweep) or a positive ranks-per-node\n", *nodesize)
 		os.Exit(2)
 	}
 
@@ -56,6 +67,7 @@ func main() {
 		{"adapt", func() fmt.Stringer { return experiments.RunAdaptTable(*workers, *propg) }},
 		{"overlap", func() fmt.Stringer { return experiments.RunOverlapTable(*workers) }},
 		{"faults", func() fmt.Stringer { return experiments.RunFaultTable(*faultSeed, *workers) }},
+		{"comm", func() fmt.Stringer { return experiments.RunCommTable(*exchange, *nodesize) }},
 	}
 
 	ran := false

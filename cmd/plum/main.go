@@ -20,6 +20,7 @@ import (
 	"plum/internal/core"
 	"plum/internal/fault"
 	"plum/internal/geom"
+	"plum/internal/machine"
 	"plum/internal/meshgen"
 	"plum/internal/par"
 	"plum/internal/partition"
@@ -42,6 +43,8 @@ func main() {
 		parter  = flag.String("partitioner", "multilevel", "repartitioner: graphgrow, inertial, spectral, multilevel, morton, hilbert")
 		refiner = flag.String("refiner", "", "boundary-refinement backend: bandfm, diffusion, fm (default: adaptive — band-FM when the effective worker count exceeds 1, classic FM on serial hosts and inside multilevel)")
 		propg   = flag.String("propagator", "", "adaption frontier-propagation backend: bulksync, aggregated (default: bulksync)")
+		exch    = flag.String("exchange", "", "remap payload exchange schedule: flat, aggregated, hierarchical (default: flat; hierarchical needs -nodesize > 1)")
+		nodesz  = flag.Int("nodesize", 0, "ranks per node of the machine topology (0 = flat machine; >1 prices intra-node messages at the cheap node rates)")
 		seed    = flag.Int64("seed", 1, "random seed")
 		workers = flag.Int("workers", 0, "worker goroutines for parallel partitioning and refinement phases (0 = GOMAXPROCS)")
 		overlap = flag.Bool("overlap", false, "hide the balance pipeline behind the solver iterations and stream the remap payload one flow window at a time")
@@ -79,6 +82,16 @@ func main() {
 		log.Fatalf("unknown propagator %q (have %v)", *propg, propagate.Names)
 	}
 	cfg.Propagator = *propg
+	if _, err := machine.ExchangeByName(*exch); err != nil {
+		log.Fatalf("unknown exchange %q (have %v)", *exch, machine.ExchangeNames)
+	}
+	cfg.Exchange = *exch
+	if *nodesz < 0 {
+		log.Fatalf("invalid -nodesize %d: need 0 (flat machine) or a positive ranks-per-node", *nodesz)
+	}
+	if *nodesz > 1 {
+		cfg.Topology = machine.NodeTopology(*nodesz)
+	}
 	plan, err := fault.Parse(*faults)
 	if err != nil {
 		log.Fatal(err)
@@ -112,8 +125,9 @@ func main() {
 		refName = "auto"
 	}
 	propName, _ := propagate.ByName(cfg.Propagator, cfg.Workers)
-	fmt.Printf("config: P=%d F=%d threshold=%.2f mapper=%s partitioner=%s refiner=%s propagator=%s workers=%d overlap=%v\n",
-		cfg.P, cfg.F, cfg.ImbalanceThreshold, cfg.Mapper, cfg.Method, refName, propName.Name(), chunk.Workers(cfg.Workers), cfg.Overlap)
+	fmt.Printf("config: P=%d F=%d threshold=%.2f mapper=%s partitioner=%s refiner=%s propagator=%s exchange=%s nodesize=%d workers=%d overlap=%v\n",
+		cfg.P, cfg.F, cfg.ImbalanceThreshold, cfg.Mapper, cfg.Method, refName, propName.Name(),
+		fw.D.Exchange, cfg.Topology.RanksPerNode, chunk.Workers(cfg.Workers), cfg.Overlap)
 	if plan.Enabled() {
 		r := cfg.Retry.Normalize()
 		fmt.Printf("faults: %s attempts=%d window-retries=%d\n", plan, r.MsgAttempts, r.WindowRetries)
@@ -185,7 +199,8 @@ func main() {
 					b.ReassignOps, b.ReassignTime)
 				fmt.Printf("         remap ops=%d crit=%d execT=%.3gs", b.RemapOps, b.RemapCritOps, b.RemapExecTime)
 				if b.Accepted {
-					fmt.Printf(" pack=%.3gs comm=%.3gs rebuild=%.3gs", b.Remap.PackTime, b.Remap.CommTime, b.Remap.RebuildTime)
+					fmt.Printf(" pack=%.3gs comm=%.3gs rebuild=%.3gs setups=%d setupT=%.3gs",
+						b.Remap.PackTime, b.Remap.CommTime, b.Remap.RebuildTime, b.RemapSetups, b.RemapSetupTime)
 				}
 				fmt.Println()
 				if cfg.Overlap {

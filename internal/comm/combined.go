@@ -1,0 +1,81 @@
+package comm
+
+// Combined frames: the aggregated and hierarchical exchange schedules
+// pack many logical flows into one physical message, so each flow needs a
+// sub-header identifying its endpoints inside the shared payload. The
+// combined frame is itself sent as an ordinary payload through Send or
+// SendReliable — the reliable path's sequence/checksum/retry machinery
+// covers the whole frame, so corruption of any sub-payload word is
+// detected and repaired exactly as for a flat message.
+//
+// Layout (all int64 words):
+//
+//	[ nSub, (src, dst, nwords) × nSub, payload₀, payload₁, … ]
+//
+// Payloads are concatenated in sub-header order with no padding.
+
+import "fmt"
+
+// SubFrame is one logical flow carried inside a combined frame: Words of
+// payload from rank Src to rank Dst. After UnpackCombined, Data aliases
+// the frame buffer (zero copy) — callers that outlive the frame must copy.
+type SubFrame struct {
+	Src, Dst int32
+	Data     []int64
+}
+
+const subHdr = 3 // src, dst, nwords
+
+// PackCombined encodes the sub-frames into one combined frame, preserving
+// their order. Empty payloads are legal (a sub-frame can carry zero
+// words); an empty sub list encodes to the one-word frame [0].
+func PackCombined(subs []SubFrame) []int64 {
+	n := 1 + subHdr*len(subs)
+	for _, s := range subs {
+		n += len(s.Data)
+	}
+	frame := make([]int64, 1, n)
+	frame[0] = int64(len(subs))
+	for _, s := range subs {
+		frame = append(frame, int64(s.Src), int64(s.Dst), int64(len(s.Data)))
+	}
+	for _, s := range subs {
+		frame = append(frame, s.Data...)
+	}
+	return frame
+}
+
+// UnpackCombined decodes a combined frame, returning sub-frames whose
+// Data slices alias the frame buffer. It validates the structure
+// exhaustively — header fits, word counts nonnegative, payload region
+// exactly consumed — so a structurally damaged frame is an error, never a
+// misread. (Payload *content* integrity is the transport checksum's job.)
+func UnpackCombined(frame []int64) ([]SubFrame, error) {
+	if len(frame) < 1 {
+		return nil, fmt.Errorf("comm: combined frame empty (no sub count)")
+	}
+	n := frame[0]
+	if n < 0 || 1+subHdr*n > int64(len(frame)) {
+		return nil, fmt.Errorf("comm: combined frame header says %d subs, frame has %d words", n, len(frame))
+	}
+	subs := make([]SubFrame, n)
+	off := 1 + subHdr*int(n)
+	for i := range subs {
+		h := 1 + subHdr*i
+		w := frame[h+2]
+		if w < 0 || int64(off)+w > int64(len(frame)) {
+			return nil, fmt.Errorf("comm: combined sub %d claims %d words beyond frame end (%d/%d)",
+				i, w, off, len(frame))
+		}
+		subs[i] = SubFrame{
+			Src:  int32(frame[h]),
+			Dst:  int32(frame[h+1]),
+			Data: frame[off : off+int(w) : off+int(w)],
+		}
+		off += int(w)
+	}
+	if off != len(frame) {
+		return nil, fmt.Errorf("comm: combined frame has %d trailing words", len(frame)-off)
+	}
+	return subs, nil
+}

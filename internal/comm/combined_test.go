@@ -1,0 +1,174 @@
+package comm
+
+import (
+	"reflect"
+	"testing"
+
+	"plum/internal/fault"
+)
+
+func TestCombinedRoundTrip(t *testing.T) {
+	subs := []SubFrame{
+		{Src: 0, Dst: 1, Data: []int64{10, 20, 30}},
+		{Src: 0, Dst: 2, Data: []int64{}},
+		{Src: 3, Dst: 1, Data: []int64{-7, 1 << 62}},
+	}
+	frame := PackCombined(subs)
+	wantLen := 1 + subHdr*3 + 3 + 0 + 2
+	if len(frame) != wantLen {
+		t.Fatalf("frame length %d, want %d", len(frame), wantLen)
+	}
+	got, err := UnpackCombined(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(subs) {
+		t.Fatalf("unpacked %d subs, want %d", len(got), len(subs))
+	}
+	for i := range subs {
+		if got[i].Src != subs[i].Src || got[i].Dst != subs[i].Dst ||
+			!reflect.DeepEqual(append([]int64{}, got[i].Data...), append([]int64{}, subs[i].Data...)) {
+			t.Errorf("sub %d: got %+v want %+v", i, got[i], subs[i])
+		}
+	}
+	// Unpack must alias the frame, not copy it: repacking from the views
+	// reproduces the identical frame without touching the payloads.
+	if !reflect.DeepEqual(PackCombined(got), frame) {
+		t.Error("repack of unpacked subs diverges from the original frame")
+	}
+}
+
+func TestCombinedEmpty(t *testing.T) {
+	frame := PackCombined(nil)
+	if !reflect.DeepEqual(frame, []int64{0}) {
+		t.Fatalf("empty pack = %v", frame)
+	}
+	subs, err := UnpackCombined(frame)
+	if err != nil || len(subs) != 0 {
+		t.Fatalf("empty unpack = %v, %v", subs, err)
+	}
+}
+
+func TestCombinedMalformed(t *testing.T) {
+	good := PackCombined([]SubFrame{{Src: 1, Dst: 2, Data: []int64{5, 6}}})
+	cases := map[string][]int64{
+		"nil frame":        nil,
+		"negative count":   {-1},
+		"count overflow":   {1 << 40},
+		"truncated header": {2, 0, 1, 2},
+		"negative words":   {1, 0, 1, -3},
+		"payload overrun":  {1, 0, 1, 99, 5, 6},
+		"trailing words":   append(append([]int64{}, good...), 42),
+	}
+	for name, frame := range cases {
+		if _, err := UnpackCombined(frame); err == nil {
+			t.Errorf("%s: unpack accepted %v", name, frame)
+		}
+	}
+	if _, err := UnpackCombined(good); err != nil {
+		t.Fatalf("control frame rejected: %v", err)
+	}
+}
+
+// TestCombinedOverReliableTransport sends a combined frame through the
+// reliable path under a corrupt-only fault plan: the checksum covers the
+// whole frame, so a garbled combined frame is retried as a unit and the
+// delivered sub-frames are exact.
+func TestCombinedOverReliableTransport(t *testing.T) {
+	subs := []SubFrame{
+		{Src: 0, Dst: 1, Data: []int64{1, 2, 3}},
+		{Src: 0, Dst: 1, Data: []int64{4}},
+	}
+	frame := PackCombined(subs)
+	w := NewWorld(2)
+	plan := &fault.Plan{Seed: 11, Rate: 0.7, Kinds: []fault.Kind{fault.Corrupt}}
+	w.SetFaults(plan.Hook(fault.StageRemap, 0), 20)
+	var delivered []int64
+	var ok bool
+	if err := w.Run(func(c *Comm) {
+		if c.Rank() == 0 {
+			c.SendReliable(1, 1, frame)
+		} else {
+			delivered, _, ok = c.RecvReliable(0, 1)
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("combined frame failed despite retry budget")
+	}
+	if !reflect.DeepEqual(delivered, frame) {
+		t.Fatalf("corrupted combined frame leaked through: %v", delivered)
+	}
+	got, err := UnpackCombined(delivered)
+	if err != nil || len(got) != 2 {
+		t.Fatalf("delivered frame does not unpack: %v, %v", got, err)
+	}
+	var retries int64
+	for _, s := range w.RankStats() {
+		retries += s.Retries
+	}
+	if retries == 0 {
+		t.Error("rate-0.7 corruption produced no retries")
+	}
+}
+
+// FuzzCombinedFrame drives pack/unpack from fuzzed sub-frame shapes and
+// fuzzed raw frames: structurally valid frames must round-trip exactly,
+// arbitrary word soup must either unpack cleanly and repack to the
+// identical frame or be rejected — never panic — and a single flipped
+// word anywhere in a packed frame must be caught by the transport
+// checksum (the PR's corruption-detection path for combined frames).
+func FuzzCombinedFrame(f *testing.F) {
+	f.Add(int64(3), int64(0), []byte{1, 2, 3}, int64(1))
+	f.Add(int64(0), int64(0), []byte{}, int64(0x1000))
+	f.Add(int64(-1), int64(7), []byte{0, 0, 9, 255}, int64(1<<40))
+	f.Fuzz(func(t *testing.T, a, b int64, shape []byte, flip int64) {
+		// Build subs from the shape bytes: each byte is one sub's payload
+		// length; payload words derive from a and b.
+		var subs []SubFrame
+		for i, n := range shape {
+			if i >= 8 {
+				break
+			}
+			data := make([]int64, int(n)%16)
+			for j := range data {
+				data[j] = a + int64(j)*b
+			}
+			subs = append(subs, SubFrame{Src: int32(i), Dst: int32(int(n) % 5), Data: data})
+		}
+		frame := PackCombined(subs)
+		got, err := UnpackCombined(frame)
+		if err != nil {
+			t.Fatalf("packed frame rejected: %v", err)
+		}
+		if len(got) != len(subs) {
+			t.Fatalf("round trip lost subs: %d -> %d", len(subs), len(got))
+		}
+		if !reflect.DeepEqual(PackCombined(got), frame) {
+			t.Fatal("round trip not identity")
+		}
+
+		// The checksum path: any single-word flip in the frame must change
+		// the checksum, so the reliable transport discards the frame and
+		// retries instead of delivering a torn combined frame.
+		if flip != 0 && len(frame) > 0 {
+			sum := checksum(frame)
+			idx := int(uint64(a) % uint64(len(frame)))
+			frame[idx] ^= flip
+			if checksum(frame) == sum {
+				t.Fatalf("flipped combined frame has unchanged checksum: idx=%d flip=%#x", idx, flip)
+			}
+			frame[idx] ^= flip
+		}
+
+		// Arbitrary word soup: never panic, and any accepted parse must
+		// repack to the identical frame.
+		soup := append([]int64{a, b}, frame...)
+		if subs2, err := UnpackCombined(soup); err == nil {
+			if !reflect.DeepEqual(PackCombined(subs2), soup) {
+				t.Fatal("accepted soup does not repack identically")
+			}
+		}
+	})
+}

@@ -81,6 +81,20 @@ type Config struct {
 	// exchange) or "aggregated" (per-rank message aggregation for high
 	// processor counts). "" selects bulksync. See internal/propagate.
 	Propagator string
+	// Exchange names the remap payload exchange schedule: "flat" (one
+	// message per flow — the paper's semantics and the legacy path),
+	// "aggregated" (one combined frame per source rank), or
+	// "hierarchical" (two-level per-node gather / inter-node exchange /
+	// scatter; requires Topology.RanksPerNode > 1). "" selects flat. The
+	// owner array and payload bytes are identical under every schedule;
+	// only the modeled communication charges and the wire framing differ.
+	// See internal/machine.Exchange.
+	Exchange string
+	// Topology is the machine's node structure: RanksPerNode consecutive
+	// ranks share a node with cheap intra-node message rates. The zero
+	// value is a flat machine on which every pair pays the interconnect
+	// rates — the legacy model, bit for bit. See machine.NodeTopology.
+	Topology machine.Topology
 	// SolverIters is the number of proxy flow-solver iterations each
 	// cycle runs before adaption, and the multiplier of the modeled
 	// CycleReport.SolverTime — a single knob so the proxy solve and the
@@ -241,6 +255,19 @@ func New(m *mesh.Mesh, sol *solver.Solver, cfg Config) (*Framework, error) {
 	if !ok {
 		return nil, fmt.Errorf("core: unknown propagator %q (have %v)", cfg.Propagator, propagate.Names)
 	}
+	exch, err := machine.ExchangeByName(cfg.Exchange)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	if err := cfg.Topology.Validate(); err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	if exch == machine.ExchangeHierarchical && cfg.Topology.Flat() {
+		return nil, fmt.Errorf("core: exchange %q needs a node topology (set Config.Topology.RanksPerNode > 1, e.g. -nodesize on the CLIs)", exch)
+	}
+	// The machine model carries the topology from here on: every CommTime
+	// charge in the adaption and remap paths sees the same node structure.
+	cfg.Model.Topo = cfg.Topology
 	if err := cfg.Faults.Validate(); err != nil {
 		return nil, fmt.Errorf("core: %w", err)
 	}
@@ -268,6 +295,7 @@ func New(m *mesh.Mesh, sol *solver.Solver, cfg Config) (*Framework, error) {
 	d := par.NewDist(m, cfg.P, asg)
 	d.Workers = cfg.Workers // the remap scatter and SPL scans share the knob
 	d.Prop = prop           // the adaption phases' frontier-propagation backend
+	d.Exchange = exch       // the remap payload exchange schedule
 	d.Faults = cfg.Faults   // fault plan + recovery budget for the balance cycles
 	d.Retry = cfg.Retry
 	return &Framework{
@@ -444,6 +472,15 @@ type BalanceReport struct {
 	// overlap is off or when Balance runs outside a cycle (no solve to
 	// hide behind).
 	OverlapTime float64
+	// Exchange is the remap exchange schedule the pass charges and (when
+	// accepted) executes under — Config.Exchange, parsed.
+	Exchange machine.Exchange
+	// RemapSetups and RemapSetupTime are the executed remap's modeled
+	// message-setup count and summed setup-time slice
+	// (par.RemapResult.Setups / SetupTime) — the quantities the exchange
+	// schedule exists to shrink. Zero when no remap executed.
+	RemapSetups    int64
+	RemapSetupTime float64
 	// RemapPeakWords is the executed remap's host-side payload
 	// high-water mark in record words (par.RemapResult.PeakWords): the
 	// whole buffer on the bulk-synchronous executor, the largest
@@ -476,6 +513,7 @@ func (f *Framework) Balance() (BalanceReport, error) { return f.balance(0) }
 // on.
 func (f *Framework) balance(window float64) (BalanceReport, error) {
 	var rep BalanceReport
+	rep.Exchange = f.D.Exchange
 	f.G.UpdateWeights(f.M)
 	loads := f.Loads()
 	rep.ImbalanceBefore = par.ImbalanceFactor(loads)
@@ -534,7 +572,7 @@ func (f *Framework) balance(window float64) (BalanceReport, error) {
 	rep.RemapExecTime = remapOps.Time(f.Cfg.Model)
 	rep.Gain = f.Cfg.Cost.Gain(rep.WmaxOld, rep.WmaxNew)
 	pipeline := rep.RepartitionTime + rep.ReassignTime + rep.RemapExecTime
-	rep.CostFull = f.Cfg.Cost.RedistCost(rep.MoveC, rep.MoveN) + pipeline
+	rep.CostFull = redistCost(f.Cfg.Cost, f.Cfg.Model, f.D.Exchange, f.Cfg.P, rep.MoveC, rep.MoveN) + pipeline
 	if f.Cfg.Overlap {
 		// Latency tolerance: the CPU-side pipeline hides behind the
 		// solver iterations; only the exposed remainder delays the
@@ -592,7 +630,35 @@ func (f *Framework) balance(window float64) (BalanceReport, error) {
 	}
 	rep.Remap = res
 	rep.RemapPeakWords = res.PeakWords
+	rep.RemapSetups = res.Setups
+	rep.RemapSetupTime = res.SetupTime
 	return rep, nil
+}
+
+// redistCost is the acceptance rule's wire-redistribution term under the
+// configured exchange schedule. Flat keeps the paper's C·M·Tlat + N·Tsetup
+// exactly. Aggregated caps the setup term at one combined message per
+// source: C·M·Tlat + min(N, P)·Tsetup. Hierarchical moves the payload
+// three times — gather and scatter at the cheap intra-node rates, the
+// inter-node hop at the interconnect rate — and caps the setups at two
+// intra-node messages per source/destination plus one inter-node message
+// per communicating node pair. The predictions deliberately mirror how
+// machine.ChargeFlows bills the executed remap, so the decision and the
+// execution can't price the same schedule differently.
+func redistCost(c remap.CostModel, mdl machine.Model, x machine.Exchange, p int, moved int64, sets int) float64 {
+	words := float64(moved) * float64(c.M)
+	switch x {
+	case machine.ExchangeAggregated:
+		return words*c.Tlat + float64(min(sets, p))*c.Tsetup
+	case machine.ExchangeHierarchical:
+		t := mdl.Topo
+		nodes := t.Nodes(p)
+		interPairs := min(sets, nodes*(nodes-1))
+		return words*c.Tlat + 2*words*t.IntraTlat +
+			2*float64(min(sets, p))*t.IntraTsetup + float64(interPairs)*c.Tsetup
+	default:
+		return c.RedistCost(moved, sets)
+	}
 }
 
 // CycleReport records one full solution/adaption cycle.

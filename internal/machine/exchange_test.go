@@ -1,0 +1,257 @@
+package machine
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestTopology(t *testing.T) {
+	var flat Topology
+	if !flat.Flat() || flat.SameNode(0, 0) || flat.Nodes(8) != 8 || flat.Leader(3) != 3 {
+		t.Fatalf("zero topology is not the flat machine: %+v", flat)
+	}
+	if err := flat.Validate(); err != nil {
+		t.Fatalf("zero topology must validate: %v", err)
+	}
+
+	topo := NodeTopology(4)
+	if topo.Flat() {
+		t.Fatal("NodeTopology(4) reports flat")
+	}
+	if err := topo.Validate(); err != nil {
+		t.Fatalf("NodeTopology(4): %v", err)
+	}
+	if topo.Node(0) != 0 || topo.Node(3) != 0 || topo.Node(4) != 1 || topo.Node(11) != 2 {
+		t.Error("Node blocks wrong")
+	}
+	if !topo.SameNode(0, 3) || topo.SameNode(3, 4) || !topo.SameNode(5, 6) {
+		t.Error("SameNode wrong")
+	}
+	if topo.Nodes(8) != 2 || topo.Nodes(9) != 3 || topo.Nodes(1) != 1 {
+		t.Error("Nodes ceiling wrong")
+	}
+	if topo.Leader(0) != 0 || topo.Leader(2) != 8 {
+		t.Error("Leader wrong")
+	}
+	// Intra-node messaging must actually be the cheap path.
+	if topo.IntraTsetup >= SP2().Tsetup || topo.IntraTlat >= SP2().Tlat {
+		t.Errorf("intra rates not cheaper than interconnect: %+v", topo)
+	}
+
+	for _, bad := range []Topology{
+		{RanksPerNode: -1},
+		{RanksPerNode: 4},                    // node topology without rates
+		{RanksPerNode: 4, IntraTsetup: 1e-6}, // missing word rate
+		{RanksPerNode: 2, IntraTsetup: -1, IntraTlat: 1e-7},
+	} {
+		if err := bad.Validate(); err == nil {
+			t.Errorf("Validate accepted %+v", bad)
+		}
+	}
+}
+
+func TestExchangeNames(t *testing.T) {
+	for i, name := range ExchangeNames {
+		x, err := ExchangeByName(name)
+		if err != nil || int(x) != i || x.String() != name {
+			t.Fatalf("ExchangeByName(%q) = %v, %v", name, x, err)
+		}
+	}
+	if x, err := ExchangeByName(""); err != nil || x != ExchangeFlat {
+		t.Error("empty name must select flat")
+	}
+	if _, err := ExchangeByName("nope"); err == nil {
+		t.Error("accepted unknown exchange")
+	}
+}
+
+// TestCommTimeFlatTopology pins the bit-parity contract: on a flat
+// topology CommTime is MsgTime for every pair, so legacy charges cannot
+// drift.
+func TestCommTimeFlatTopology(t *testing.T) {
+	mdl := SP2()
+	for _, words := range []int64{0, 1, 17, 1 << 20} {
+		if mdl.CommTime(0, 1, words) != mdl.MsgTime(words) {
+			t.Fatalf("flat CommTime(%d) != MsgTime", words)
+		}
+	}
+	mdl.Topo = NodeTopology(4)
+	if got, want := mdl.CommTime(0, 1, 100), mdl.Topo.IntraTsetup+100*mdl.Topo.IntraTlat; got != want {
+		t.Errorf("intra CommTime = %g, want %g", got, want)
+	}
+	if mdl.CommTime(3, 4, 100) != mdl.MsgTime(100) {
+		t.Error("inter-node CommTime must be MsgTime")
+	}
+	if mdl.CommTime(0, 1, 100) >= mdl.CommTime(3, 4, 100) {
+		t.Error("intra-node message not cheaper than inter-node")
+	}
+}
+
+var chargeFixture = []Flow{
+	{Src: 0, Dst: 1, Words: 10},
+	{Src: 0, Dst: 2, Words: 5},
+	{Src: 1, Dst: 7, Words: 3},
+	{Src: 2, Dst: 0, Words: 1},
+	{Src: 4, Dst: 5, Words: 8},
+}
+
+// TestChargeFlatLegacyParity pins the flat schedule on a flat topology to
+// the legacy per-flow MsgTime charges.
+func TestChargeFlatLegacyParity(t *testing.T) {
+	mdl := SP2()
+	clk := NewClock(8)
+	ch := mdl.ChargeFlows(clk, ExchangeFlat, chargeFixture)
+	if ch.Msgs != 5 || ch.Words != 27 || ch.IntraWords != 0 || ch.InterWords != 27 {
+		t.Fatalf("flat charge %+v", ch)
+	}
+	if got, want := ch.SetupTime, 5*mdl.Tsetup; got != want {
+		t.Errorf("SetupTime %g want %g", got, want)
+	}
+	if got, want := clk.Rank(0), mdl.MsgTime(10)+mdl.MsgTime(5); got != want {
+		t.Errorf("rank 0 charged %g, want legacy %g", got, want)
+	}
+	if clk.Rank(7) != 0 {
+		t.Error("flat schedule must not charge receivers")
+	}
+}
+
+// TestChargeAggregatedLegacyParity pins the aggregated schedule on a flat
+// topology to the legacy propagate.Aggregated expressions: MsgTime over
+// each source's combined total, per-word Tlat drain on destinations.
+func TestChargeAggregatedLegacyParity(t *testing.T) {
+	mdl := SP2()
+	clk := NewClock(8)
+	ch := mdl.ChargeFlows(clk, ExchangeAggregated, chargeFixture)
+	if ch.Msgs != 4 || ch.Words != 27 {
+		t.Fatalf("aggregated charge %+v", ch)
+	}
+	if got, want := ch.SetupTime, 4*mdl.Tsetup; got != want {
+		t.Errorf("SetupTime %g want %g", got, want)
+	}
+	if got, want := clk.Rank(0), mdl.MsgTime(15)+1*mdl.Tlat; got != want {
+		t.Errorf("rank 0 charged %g, want legacy %g", got, want)
+	}
+	if got, want := clk.Rank(7), 3*mdl.Tlat; got != want {
+		t.Errorf("rank 7 drain %g, want %g", got, want)
+	}
+}
+
+// TestChargeHierarchical checks the three-phase schedule on a small node
+// topology: gather and scatter hops at the intra rates, one inter-node
+// frame per communicating node pair, leaders exempt from their own
+// gather/scatter.
+func TestChargeHierarchical(t *testing.T) {
+	mdl := SP2()
+	mdl.Topo = NodeTopology(4)
+	clk := NewClock(8)
+	// Node 0 = ranks 0-3, node 1 = ranks 4-7.
+	flows := []Flow{
+		{Src: 0, Dst: 5, Words: 10}, // leader 0 -> node 1: no gather hop
+		{Src: 1, Dst: 6, Words: 4},  // member gather + inter + scatter
+		{Src: 2, Dst: 3, Words: 7},  // intra-node only: no inter hop
+	}
+	ch := mdl.ChargeFlows(clk, ExchangeHierarchical, flows)
+	if ch.Words != 21 {
+		t.Fatalf("Words = %d", ch.Words)
+	}
+	// Gather: ranks 1 and 2 (rank 0 is its node's leader). Inter: one
+	// frame node0->node1 (14 words). Scatter: leader 4 -> ranks 5, 6, and
+	// leader 0 -> rank 3.
+	if ch.Msgs != 2+1+3 {
+		t.Errorf("Msgs = %d, want 6", ch.Msgs)
+	}
+	if got, want := ch.SetupTime, 5*mdl.Topo.IntraTsetup+1*mdl.Tsetup; got != want {
+		t.Errorf("SetupTime %g want %g", got, want)
+	}
+	if ch.InterWords != 14 {
+		t.Errorf("InterWords = %d, want 14", ch.InterWords)
+	}
+	// Gather stores 4+7 intra, scatter 4+10+7 intra.
+	if ch.IntraWords != 11+21 {
+		t.Errorf("IntraWords = %d, want 32", ch.IntraWords)
+	}
+}
+
+// TestExchangeSetupScaling is the tentpole's scaling claim in miniature:
+// on an all-pairs flow set the modeled setup time must rank
+// hierarchical < aggregated < flat once P is large relative to the node
+// size.
+func TestExchangeSetupScaling(t *testing.T) {
+	const p, rpn = 64, 16
+	mdl := SP2()
+	mdl.Topo = NodeTopology(rpn)
+	var flows []Flow
+	for s := 0; s < p; s++ {
+		for d := 0; d < p; d++ {
+			if s != d {
+				flows = append(flows, Flow{Src: int32(s), Dst: int32(d), Words: 2})
+			}
+		}
+	}
+	setup := map[Exchange]float64{}
+	words := map[Exchange]int64{}
+	for _, x := range []Exchange{ExchangeFlat, ExchangeAggregated, ExchangeHierarchical} {
+		ch := mdl.ChargeFlows(NewClock(p), x, flows)
+		setup[x] = ch.SetupTime
+		words[x] = ch.Words
+	}
+	if words[ExchangeFlat] != words[ExchangeAggregated] || words[ExchangeFlat] != words[ExchangeHierarchical] {
+		t.Fatalf("logical words differ across schedules: %v", words)
+	}
+	if !(setup[ExchangeHierarchical] < setup[ExchangeAggregated] && setup[ExchangeAggregated] < setup[ExchangeFlat]) {
+		t.Errorf("setup ranking violated: hier %g, agg %g, flat %g",
+			setup[ExchangeHierarchical], setup[ExchangeAggregated], setup[ExchangeFlat])
+	}
+}
+
+// TestChargeDeterminism: identical inputs must produce byte-identical
+// clocks and charges — the figures feed determinism-diffed reports.
+func TestChargeDeterminism(t *testing.T) {
+	mdl := SP2()
+	mdl.Topo = NodeTopology(4)
+	for _, x := range []Exchange{ExchangeFlat, ExchangeAggregated, ExchangeHierarchical} {
+		c1, c2 := NewClock(8), NewClock(8)
+		ch1 := mdl.ChargeFlows(c1, x, chargeFixture)
+		ch2 := mdl.ChargeFlows(c2, x, chargeFixture)
+		if !reflect.DeepEqual(ch1, ch2) || c1.Elapsed() != c2.Elapsed() {
+			t.Errorf("%v: charge not deterministic", x)
+		}
+	}
+}
+
+// TestRetryHookPosition checks that the retry hook fires once per message
+// with the as-sent word count and the CombinedDst sentinel on combined
+// frames.
+func TestRetryHookPosition(t *testing.T) {
+	mdl := SP2()
+	type call struct {
+		src, dst int32
+		words    int64
+	}
+	var calls []call
+	hook := func(src, dst int32, words int64) { calls = append(calls, call{src, dst, words}) }
+
+	mdl.ChargeFlowsRetry(NewClock(8), ExchangeFlat, chargeFixture, hook)
+	if len(calls) != 5 || calls[0] != (call{0, 1, 10}) {
+		t.Fatalf("flat retry calls: %+v", calls)
+	}
+
+	calls = nil
+	mdl.ChargeFlowsRetry(NewClock(8), ExchangeAggregated, chargeFixture, hook)
+	want := []call{{0, CombinedDst, 15}, {1, CombinedDst, 3}, {2, CombinedDst, 1}, {4, CombinedDst, 8}}
+	if !reflect.DeepEqual(calls, want) {
+		t.Fatalf("aggregated retry calls: %+v, want %+v", calls, want)
+	}
+
+	calls = nil
+	mdl.Topo = NodeTopology(4)
+	mdl.ChargeFlowsRetry(NewClock(8), ExchangeHierarchical, chargeFixture, hook)
+	for _, c := range calls {
+		if c.dst != CombinedDst {
+			t.Fatalf("hierarchical retry with real dst: %+v", c)
+		}
+	}
+	if len(calls) == 0 {
+		t.Fatal("hierarchical schedule fired no retry hooks")
+	}
+}

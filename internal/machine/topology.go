@@ -1,0 +1,84 @@
+package machine
+
+import "fmt"
+
+// Topology describes the machine's node structure for the communication
+// model: consecutive ranks grouped into SMP nodes whose internal messages
+// are much cheaper than messages crossing the interconnect. The zero value
+// is a flat machine — every message pays the inter-node Tsetup/Tlat, which
+// keeps every pre-topology charge bit-identical.
+type Topology struct {
+	// RanksPerNode groups consecutive ranks into nodes: ranks
+	// [k·R, (k+1)·R) share node k (the last node may be smaller when R
+	// does not divide P). 0 or 1 means a flat machine: no two ranks share
+	// a node and the intra rates are never consulted.
+	RanksPerNode int
+	// IntraTsetup and IntraTlat are the setup and per-word copy times of
+	// a message between two ranks on the same node (shared memory or an
+	// intra-node switch), replacing Model.Tsetup/Tlat for those pairs.
+	IntraTsetup, IntraTlat float64
+}
+
+// NodeTopology returns the SP2-cluster extension of the machine model:
+// nodes of ranksPerNode ranks whose internal messages pay an 8× cheaper
+// setup and a 5× cheaper word copy than the interconnect — the shape of
+// mid-90s SMP-node clusters, and of every machine since.
+func NodeTopology(ranksPerNode int) Topology {
+	return Topology{
+		RanksPerNode: ranksPerNode,
+		IntraTsetup:  5e-6,
+		IntraTlat:    0.05e-6,
+	}
+}
+
+// Flat reports whether the topology is a flat machine (no rank shares a
+// node with another).
+func (t Topology) Flat() bool { return t.RanksPerNode <= 1 }
+
+// Node returns the node index of a rank (the rank itself on a flat
+// machine).
+func (t Topology) Node(rank int) int {
+	if t.Flat() {
+		return rank
+	}
+	return rank / t.RanksPerNode
+}
+
+// SameNode reports whether two ranks share a node. Always false on a flat
+// machine, including for a == b, so flat charges never take the intra
+// rates.
+func (t Topology) SameNode(a, b int) bool {
+	return !t.Flat() && a/t.RanksPerNode == b/t.RanksPerNode
+}
+
+// Nodes returns the number of nodes hosting p ranks.
+func (t Topology) Nodes(p int) int {
+	if t.Flat() {
+		return p
+	}
+	return (p + t.RanksPerNode - 1) / t.RanksPerNode
+}
+
+// Leader returns the leader rank of a node: its first rank.
+func (t Topology) Leader(node int) int {
+	if t.Flat() {
+		return node
+	}
+	return node * t.RanksPerNode
+}
+
+// Validate checks the topology for use in a configuration: a node machine
+// (RanksPerNode > 1) must price its intra-node messages with strictly
+// positive rates, and nothing may be negative.
+func (t Topology) Validate() error {
+	if t.RanksPerNode < 0 {
+		return fmt.Errorf("machine: negative RanksPerNode %d", t.RanksPerNode)
+	}
+	if t.IntraTsetup < 0 || t.IntraTlat < 0 {
+		return fmt.Errorf("machine: negative intra-node rates (Tsetup=%g, Tlat=%g)", t.IntraTsetup, t.IntraTlat)
+	}
+	if t.RanksPerNode > 1 && (t.IntraTsetup == 0 || t.IntraTlat == 0) {
+		return fmt.Errorf("machine: node topology (%d ranks/node) needs nonzero intra-node rates; use NodeTopology", t.RanksPerNode)
+	}
+	return nil
+}

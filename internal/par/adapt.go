@@ -32,8 +32,12 @@ type AdaptTimings struct {
 	CommRounds int
 	// Msgs and Words count the propagation + classification traffic
 	// under the propagation backend's exchange model (see
-	// propagate.BulkSync and propagate.Aggregated).
+	// propagate.BulkSync and propagate.Aggregated). SetupTime is the
+	// summed modeled message-setup slice of those charges, reported
+	// separately so the setup/volume split is visible alongside the remap
+	// executor's.
 	Msgs, Words int64
+	SetupTime   float64
 	// Visits is the number of frontier element examinations the
 	// propagation engine performed; Marked the edges it newly committed.
 	Visits, Marked int64
@@ -264,6 +268,7 @@ func (d *Dist) ParallelRefine(a *adapt.Adaptor, mdl machine.Model) (adapt.Refine
 	}
 	tm.CommRounds = res.Rounds
 	tm.Msgs, tm.Words = res.Msgs, res.Words
+	tm.SetupTime = res.SetupTime
 	tm.Visits, tm.Marked = res.Visits, res.Marked
 	propEnd := clk.Elapsed()
 	tm.Propagate = propEnd - tm.Target
@@ -314,9 +319,10 @@ func (d *Dist) ParallelRefine(a *adapt.Adaptor, mdl machine.Model) (adapt.Refine
 	// --- Classification phase: new edges whose endpoint SPLs intersect
 	// require one communication to decide shared vs. internal. ---
 	pairs := propagate.AggregatePairs(d.classifyPairs(edgesBefore))
-	msgs, words := prop.ChargeExchange(clk, mdl, pairs)
-	tm.Msgs += msgs
-	tm.Words += words
+	ch := prop.ChargeExchange(clk, mdl, pairs)
+	tm.Msgs += ch.Msgs
+	tm.Words += ch.Words
+	tm.SetupTime += ch.SetupTime
 	clk.Barrier()
 	tm.Classify = clk.Elapsed() - execEnd
 	tm.Total = clk.Elapsed()
@@ -412,10 +418,12 @@ func (d *Dist) ParallelCoarsen(a *adapt.Adaptor, mdl machine.Model) (adapt.Coars
 	var res propagate.Result
 	res.Rounds = 1
 	res.Ops.AddSerial(int64(len(pairs)))
-	res.Msgs, res.Words = prop.ChargeExchange(clk, mdl, pairs)
+	ch := prop.ChargeExchange(clk, mdl, pairs)
+	res.Msgs, res.Words, res.SetupTime = ch.Msgs, ch.Words, ch.SetupTime
 	clk.Barrier()
 	tm.CommRounds = res.Rounds
 	tm.Msgs, tm.Words = res.Msgs, res.Words
+	tm.SetupTime = res.SetupTime
 	propEnd := clk.Elapsed()
 	tm.Propagate = propEnd - tm.Target
 

@@ -21,6 +21,7 @@ import (
 
 	"plum/internal/chunk"
 	"plum/internal/fault"
+	"plum/internal/machine"
 	"plum/internal/mesh"
 	"plum/internal/partition"
 	"plum/internal/propagate"
@@ -53,6 +54,16 @@ type Dist struct {
 	// canonical flow layout and this budget, never on Workers, so
 	// ExecuteRemapStreaming stays byte-identical at any worker count.
 	RemapWindow int64
+
+	// Exchange selects the communication schedule of the remap payload
+	// exchange — flat (legacy, the zero value), aggregated, or
+	// hierarchical (see machine.Exchange). It drives both the wire path
+	// (how records physically move between goroutine ranks) and the
+	// machine-model charges; the node topology side of the hierarchical
+	// schedule comes from the machine.Model passed to the executors.
+	// Owners, payloads, Moved/Sets/WordsMoved/PeakWords, and Ops are
+	// identical across schedules; only the communication charges differ.
+	Exchange machine.Exchange
 
 	// Faults is the deterministic fault-injection plan driving the remap
 	// payload exchange (internal/fault). nil — or a zero-rate plan —

@@ -1,0 +1,389 @@
+package par
+
+// The wire side of the exchange schedules. accountRemap charges the
+// machine model for a schedule; this file actually moves the element
+// records between goroutine ranks under the same schedule, over the plain
+// or reliable comm transport:
+//
+//   - flat: one Alltoallv buffer per (src, dst) flow — the legacy path,
+//     kept byte-identical (same sends in the same order, so the fault
+//     schedule's per-pair attempt counters advance exactly as before).
+//   - aggregated: window flows ride inside combined frames
+//     (comm.PackCombined) with per-flow sub-headers. The remap table has
+//     at most one flow per (src, dst) pair per window, so each frame
+//     carries a single sub; the schedule's setup savings — one modeled
+//     setup per source instead of one per pair — are machine.ChargeFlows'
+//     business, while this path proves the framing end to end and skips
+//     empty flows entirely.
+//   - hierarchical: a real two-level relay. Members gather their window
+//     flows to the node leader in one combined frame, leaders exchange
+//     one combined frame per communicating node pair, leaders scatter
+//     per-member combined frames, and every hop routes by the sub-frame
+//     headers.
+//
+// Every expectation — who sends, who receives, how many words — is
+// derived from the canonical flow offsets on both sides of every hop,
+// never from received data. A sender therefore always sends exactly the
+// frames its receivers wait for (possibly partial or empty after an
+// upstream reliable failure), so no rank can block on a lost transfer:
+// missing flows surface as want-mismatches at their final destination and
+// are counted as window failures for the transactional retry loop.
+
+import (
+	"fmt"
+	"slices"
+
+	"plum/internal/comm"
+	"plum/internal/machine"
+)
+
+// Positive message tags for the combined-frame exchange paths; the comm
+// package's built-in collectives use negative tags, so these never
+// collide with an in-flight Alltoallv.
+const (
+	tagCombined = 100 + iota
+	tagGatherUp
+	tagInterNode
+	tagScatterDown
+)
+
+// winPlan describes one exchange window over the canonical flow layout:
+// flows [f0, f1) of the p×p table, with rec returning flow f's wire
+// records (zero-copy subslices of the caller's record buffer).
+type winPlan struct {
+	f0, f1    int
+	p         int
+	flowStart []int64
+	rec       func(f int) []int64
+}
+
+// want returns flow f's planned element count, zero outside the window.
+func (pl *winPlan) want(f int) int64 {
+	if f < pl.f0 || f >= pl.f1 {
+		return 0
+	}
+	return pl.flowStart[f+1] - pl.flowStart[f]
+}
+
+// exchangeWindow runs one window of the remap exchange under the selected
+// schedule, accumulating verified element counts into recv[rank]. On the
+// reliable path (reliable=true) transfers that exhausted their attempt
+// budget are counted into failCount[rank] instead of delivered, and the
+// caller decides whether to retry the window; on the plain path failCount
+// may be nil and any missing or mismatched flow panics (the transport
+// cannot lose data, so it would be a bug). The returned error is a rank
+// panic aggregated by comm.World.Run.
+func exchangeWindow(w *comm.World, x machine.Exchange, topo machine.Topology, pl *winPlan, reliable bool, recv, failCount []int64) error {
+	switch x {
+	case machine.ExchangeAggregated:
+		return w.Run(func(c *comm.Comm) { exchangeAggregated(c, pl, reliable, recv, failCount) })
+	case machine.ExchangeHierarchical:
+		info := buildHierInfo(pl, topo)
+		return w.Run(func(c *comm.Comm) { exchangeHierarchical(c, topo, pl, info, reliable, recv, failCount) })
+	default:
+		return w.Run(func(c *comm.Comm) { exchangeFlat(c, pl, reliable, recv, failCount) })
+	}
+}
+
+// exchangeFlat is the legacy schedule: every rank contributes one
+// Alltoallv buffer per destination (empty outside its window flows) and
+// verifies each received flow against the plan.
+func exchangeFlat(c *comm.Comm, pl *winPlan, reliable bool, recv, failCount []int64) {
+	p := pl.p
+	self := c.Rank()
+	bufs := make([][]int64, p)
+	for f := pl.f0; f < pl.f1; f++ {
+		if f/p == self {
+			bufs[f%p] = pl.rec(f)
+		}
+	}
+	var got [][]int64
+	var failed []int
+	if reliable {
+		got, failed = c.AlltoallvReliable(bufs)
+		failCount[self] = int64(len(failed))
+	} else {
+		got = c.Alltoallv(bufs)
+	}
+	for from, data := range got {
+		if from == self || slices.Contains(failed, from) {
+			continue
+		}
+		want := pl.want(from*p + self)
+		if int64(len(data)) != want*recWords {
+			panic(fmt.Sprintf("par: window flow %d->%d carried %d words, want %d",
+				from, self, len(data), want*recWords))
+		}
+		recv[self] += want
+	}
+}
+
+// exchangeAggregated wraps each nonempty window flow in a combined frame.
+// Receivers take frames from their expected sources in ascending rank
+// order, so the exchange is deterministic without a barrier.
+func exchangeAggregated(c *comm.Comm, pl *winPlan, reliable bool, recv, failCount []int64) {
+	p := pl.p
+	self := c.Rank()
+	for f := pl.f0; f < pl.f1; f++ {
+		dst := f % p
+		if f/p != self || dst == self || pl.want(f) == 0 {
+			continue
+		}
+		frame := comm.PackCombined([]comm.SubFrame{{Src: int32(self), Dst: int32(dst), Data: pl.rec(f)}})
+		if reliable {
+			c.SendReliable(dst, tagCombined, frame)
+		} else {
+			c.Send(dst, tagCombined, frame)
+		}
+	}
+	for from := 0; from < p; from++ {
+		want := pl.want(from*p + self)
+		if from == self || want == 0 {
+			continue
+		}
+		var frame []int64
+		if reliable {
+			d, _, ok := c.RecvReliable(from, tagCombined)
+			if !ok {
+				failCount[self]++
+				continue
+			}
+			frame = d
+		} else {
+			frame, _ = c.Recv(from, tagCombined)
+		}
+		subs := unpackVia(frame, self, p)
+		if len(subs) != 1 || int(subs[0].Src) != from || int(subs[0].Dst) != self ||
+			int64(len(subs[0].Data)) != want*recWords {
+			panic(fmt.Sprintf("par: combined flow %d->%d does not match its plan (%d subs)",
+				from, self, len(subs)))
+		}
+		recv[self] += want
+	}
+}
+
+// hierInfo is the plan-derived routing knowledge of one hierarchical
+// window, computed once and shared read-only by every rank goroutine:
+// which ranks send or receive anything, and which node pairs exchange an
+// inter-node combined frame.
+type hierInfo struct {
+	hasOut, hasIn []bool
+	outNodes      [][]int32 // per node: dst nodes it sends a combined frame to
+	inNodes       [][]int32 // per node: src nodes it receives a combined frame from
+}
+
+func buildHierInfo(pl *winPlan, topo machine.Topology) *hierInfo {
+	p := pl.p
+	nn := topo.Nodes(p)
+	info := &hierInfo{
+		hasOut:   make([]bool, p),
+		hasIn:    make([]bool, p),
+		outNodes: make([][]int32, nn),
+		inNodes:  make([][]int32, nn),
+	}
+	for f := pl.f0; f < pl.f1; f++ {
+		src, dst := f/p, f%p
+		if src == dst || pl.want(f) == 0 {
+			continue
+		}
+		info.hasOut[src] = true
+		info.hasIn[dst] = true
+		na, nb := topo.Node(src), topo.Node(dst)
+		if na != nb {
+			info.outNodes[na] = append(info.outNodes[na], int32(nb))
+			info.inNodes[nb] = append(info.inNodes[nb], int32(na))
+		}
+	}
+	for n := 0; n < nn; n++ {
+		slices.Sort(info.outNodes[n])
+		info.outNodes[n] = slices.Compact(info.outNodes[n])
+		slices.Sort(info.inNodes[n])
+		info.inNodes[n] = slices.Compact(info.inNodes[n])
+	}
+	return info
+}
+
+// unpackVia unpacks a combined frame that arrived over a checksum-clean
+// delivery and bounds-checks every sub-frame's endpoints. A structural
+// violation here is a routing bug, not an injected fault, so it panics in
+// both modes.
+func unpackVia(frame []int64, self, p int) []comm.SubFrame {
+	subs, err := comm.UnpackCombined(frame)
+	if err != nil {
+		panic(fmt.Sprintf("par: rank %d received malformed combined frame: %v", self, err))
+	}
+	for _, s := range subs {
+		if s.Src < 0 || int(s.Src) >= p || s.Dst < 0 || int(s.Dst) >= p {
+			panic(fmt.Sprintf("par: rank %d received sub-frame with invalid route %d->%d", self, s.Src, s.Dst))
+		}
+	}
+	return subs
+}
+
+// collectDelivered verifies the window flows delivered to rank self
+// against the plan: every expected flow must be present with exactly
+// want·recWords words. A missing flow counts as a transfer failure on the
+// reliable path (an upstream hop exhausted its budget) and panics on the
+// plain path; a present-but-wrong-size flow is always a bug.
+func collectDelivered(pl *winPlan, self int, delivered map[int][]int64, reliable bool, recv, failCount []int64) {
+	p := pl.p
+	for src := 0; src < p; src++ {
+		f := src*p + self
+		want := pl.want(f)
+		if src == self || want == 0 {
+			continue
+		}
+		data, ok := delivered[f]
+		switch {
+		case ok && int64(len(data)) == want*recWords:
+			recv[self] += want
+		case ok:
+			panic(fmt.Sprintf("par: window flow %d->%d carried %d words, want %d",
+				src, self, len(data), want*recWords))
+		case reliable:
+			failCount[self]++
+		default:
+			panic(fmt.Sprintf("par: window flow %d->%d missing from hierarchical delivery", src, self))
+		}
+	}
+}
+
+// exchangeHierarchical relays the window through node leaders in three
+// hops — gather up, inter-node, scatter down — with every frame built and
+// received against the shared plan info.
+func exchangeHierarchical(c *comm.Comm, topo machine.Topology, pl *winPlan, info *hierInfo, reliable bool, recv, failCount []int64) {
+	p := pl.p
+	self := c.Rank()
+	node := topo.Node(self)
+	leader := topo.Leader(node)
+
+	send := func(dst, tag int, frame []int64) {
+		if reliable {
+			c.SendReliable(dst, tag, frame)
+		} else {
+			c.Send(dst, tag, frame)
+		}
+	}
+	// recvFrame returns ok=false when the reliable transfer exhausted its
+	// budget; the flows it carried then surface as misses downstream.
+	recvFrame := func(src, tag int) ([]int64, bool) {
+		if reliable {
+			d, _, ok := c.RecvReliable(src, tag)
+			return d, ok
+		}
+		d, _ := c.Recv(src, tag)
+		return d, true
+	}
+
+	if self != leader {
+		// Member: gather outgoing window flows up to the leader in one
+		// combined frame (destination-ascending sub order) ...
+		if info.hasOut[self] {
+			var subs []comm.SubFrame
+			for dst := 0; dst < p; dst++ {
+				if f := self*p + dst; dst != self && pl.want(f) > 0 {
+					subs = append(subs, comm.SubFrame{Src: int32(self), Dst: int32(dst), Data: pl.rec(f)})
+				}
+			}
+			send(leader, tagGatherUp, comm.PackCombined(subs))
+		}
+		// ... and take incoming flows from the leader's scatter frame. A
+		// failed scatter delivery leaves the map empty, so every expected
+		// flow is counted as a miss.
+		if info.hasIn[self] {
+			delivered := make(map[int][]int64)
+			if frame, ok := recvFrame(leader, tagScatterDown); ok {
+				for _, s := range unpackVia(frame, self, p) {
+					if int(s.Dst) != self {
+						panic(fmt.Sprintf("par: rank %d received scatter sub-frame for rank %d", self, s.Dst))
+					}
+					delivered[int(s.Src)*p+int(s.Dst)] = s.Data
+				}
+			}
+			collectDelivered(pl, self, delivered, reliable, recv, failCount)
+		}
+		return
+	}
+
+	// Leader: route the node's window traffic. have maps flow id to the
+	// records currently held; the leader's own flows ride free.
+	have := make(map[int][]int64)
+	for dst := 0; dst < p; dst++ {
+		if f := self*p + dst; dst != self && pl.want(f) > 0 {
+			have[f] = pl.rec(f)
+		}
+	}
+	for m := self + 1; m < p && topo.Node(m) == node; m++ {
+		if !info.hasOut[m] {
+			continue
+		}
+		frame, ok := recvFrame(m, tagGatherUp)
+		if !ok {
+			continue // the member's flows surface as misses at their destinations
+		}
+		for _, s := range unpackVia(frame, self, p) {
+			if int(s.Src) != m {
+				panic(fmt.Sprintf("par: leader %d got gather sub-frame claiming source %d from member %d", self, s.Src, m))
+			}
+			have[int(s.Src)*p+int(s.Dst)] = s.Data
+		}
+	}
+
+	// Inter-node: one combined frame per communicating node pair, sent
+	// even when gather failures left it partial or empty — the receiving
+	// leader's expectation comes from the plan, not from what survived.
+	for _, nb := range info.outNodes[node] {
+		var subs []comm.SubFrame
+		for f := pl.f0; f < pl.f1; f++ {
+			src, dst := f/p, f%p
+			if topo.Node(src) != node || topo.Node(dst) != int(nb) {
+				continue
+			}
+			if data, ok := have[f]; ok {
+				subs = append(subs, comm.SubFrame{Src: int32(src), Dst: int32(dst), Data: data})
+			}
+		}
+		send(topo.Leader(int(nb)), tagInterNode, comm.PackCombined(subs))
+	}
+	for _, na := range info.inNodes[node] {
+		frame, ok := recvFrame(topo.Leader(int(na)), tagInterNode)
+		if !ok {
+			continue
+		}
+		for _, s := range unpackVia(frame, self, p) {
+			if topo.Node(int(s.Src)) != int(na) || topo.Node(int(s.Dst)) != node {
+				panic(fmt.Sprintf("par: leader %d got inter-node sub-frame %d->%d from node %d", self, s.Src, s.Dst, na))
+			}
+			have[int(s.Src)*p+int(s.Dst)] = s.Data
+		}
+	}
+
+	// Scatter: one combined frame per member with expected incoming flows
+	// (source-ascending sub order), again sent even when partial.
+	for m := self + 1; m < p && topo.Node(m) == node; m++ {
+		if !info.hasIn[m] {
+			continue
+		}
+		var subs []comm.SubFrame
+		for src := 0; src < p; src++ {
+			if f := src*p + m; src != m && pl.want(f) > 0 {
+				if data, ok := have[f]; ok {
+					subs = append(subs, comm.SubFrame{Src: int32(src), Dst: int32(m), Data: data})
+				}
+			}
+		}
+		send(m, tagScatterDown, comm.PackCombined(subs))
+	}
+	// The leader's own incoming flows never leave the routing table.
+	if info.hasIn[self] {
+		delivered := make(map[int][]int64)
+		for src := 0; src < p; src++ {
+			if f := src*p + self; src != self {
+				if data, ok := have[f]; ok {
+					delivered[f] = data
+				}
+			}
+		}
+		collectDelivered(pl, self, delivered, reliable, recv, failCount)
+	}
+}

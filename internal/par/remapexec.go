@@ -33,6 +33,21 @@ type RemapResult struct {
 	// PackTime, CommTime, RebuildTime decompose the modeled remapping
 	// overhead; Total is the slowest-rank end-to-end time.
 	PackTime, CommTime, RebuildTime, Total float64
+	// Setups counts the message setups of the base exchange under the
+	// Dist's schedule — one per message of the schedule, so flat pays one
+	// per nonempty flow while aggregated and hierarchical pay far fewer at
+	// high P (retransmissions are counted in Retries, not here). SetupTime
+	// is their summed modeled setup charge: the component of CommTime the
+	// exchange schedule exists to shrink, reported separately so callers
+	// never fold it silently into volume time.
+	Setups    int64
+	SetupTime float64
+	// IntraWords and InterWords split the exchanged wire volume by link
+	// level under the model's node topology; on a flat machine all volume
+	// is InterWords. The hierarchical schedule forwards words over both an
+	// intra-node hop and an inter-node hop, so their sum can exceed
+	// WordsMoved — that forwarding is the price of the setup savings.
+	IntraWords, InterWords int64
 	// Ops is the abstract work accounting of the scatter, pack, and
 	// unpack phases, equal to PredictRemapOps of the executed quantities:
 	// Total is worker-invariant, Crit the critical-path share at the
@@ -100,29 +115,13 @@ func (d *Dist) ExecuteRemap(newOwner []int32, mdl machine.Model) (RemapResult, e
 	// Exchange for real over the message-passing runtime and verify
 	// conservation on the receive side. Each rank's send buffers are
 	// zero-copy subslices of the flat record buffer: rank src owns the
-	// contiguous flow range [src·p, (src+1)·p).
+	// contiguous flow range [src·p, (src+1)·p). The whole table is one
+	// window of the Dist's exchange schedule.
+	plan := &winPlan{f0: 0, f1: p * p, p: p, flowStart: pl.flowStart, rec: pl.flowRecs}
 	if !d.Faults.Enabled() {
 		w := comm.NewWorld(p)
 		recvCount := make([]int64, p)
-		if err := w.Run(func(c *comm.Comm) {
-			src := c.Rank()
-			bufs := make([][]int64, p)
-			for dst := 0; dst < p; dst++ {
-				bufs[dst] = pl.flowRecs(src*p + dst)
-			}
-			got := c.Alltoallv(bufs)
-			var n int64
-			for from, data := range got {
-				if from == src {
-					continue
-				}
-				if len(data)%recWords != 0 {
-					panic("par: torn element record")
-				}
-				n += int64(len(data) / recWords)
-			}
-			recvCount[src] = n
-		}); err != nil {
+		if err := exchangeWindow(w, d.Exchange, mdl.Topo, plan, false, recvCount, nil); err != nil {
 			return RemapResult{}, &RemapError{Failure: FailRank, Window: -1, Tries: 1, RolledBack: true, Detail: err.Error()}
 		}
 		var recvTotal int64
@@ -148,26 +147,7 @@ func (d *Dist) ExecuteRemap(newOwner []int32, mdl machine.Model) (RemapResult, e
 		tries++
 		recvCount := make([]int64, p)
 		failCount := make([]int64, p)
-		if err := w.Run(func(c *comm.Comm) {
-			src := c.Rank()
-			bufs := make([][]int64, p)
-			for dst := 0; dst < p; dst++ {
-				bufs[dst] = pl.flowRecs(src*p + dst)
-			}
-			got, failed := c.AlltoallvReliable(bufs)
-			failCount[src] = int64(len(failed))
-			var n int64
-			for from, data := range got {
-				if from == src {
-					continue
-				}
-				if len(data)%recWords != 0 {
-					panic("par: torn element record")
-				}
-				n += int64(len(data) / recWords)
-			}
-			recvCount[src] = n
-		}); err != nil {
+		if err := exchangeWindow(w, d.Exchange, mdl.Topo, plan, true, recvCount, failCount); err != nil {
 			return RemapResult{}, &RemapError{Failure: FailRank, Window: -1, Tries: tries, RolledBack: true, Detail: err.Error()}
 		}
 		var nfail int64
@@ -237,6 +217,7 @@ type retryCharges struct {
 // bit-exact with pre-fault output.
 func (d *Dist) accountRemap(flowStart []int64, mdl machine.Model, res *RemapResult, rc *retryCharges) {
 	p := d.P
+	flat := d.Exchange == machine.ExchangeFlat
 	acctW := EffectiveWorkers(p*p, d.Workers)
 	sendWords := make([]int64, p)
 	recvWords := make([]int64, p)
@@ -244,6 +225,14 @@ func (d *Dist) accountRemap(flowStart []int64, mdl machine.Model, res *RemapResu
 	packT := make([]float64, p)
 	sendT := make([]float64, p)
 	retryT := make([]float64, p)
+	// Per-source setup accounting of the flat schedule; the aggregated and
+	// hierarchical schedules report theirs from machine.ChargeFlows below.
+	// These are per-src arrays, not res fields, because the chunked loop
+	// may run on several workers.
+	setups := make([]int64, p)
+	setupT := make([]float64, p)
+	intraW := make([]int64, p)
+	interW := make([]int64, p)
 	chunk.For(p, acctW, func(_, lo, hi int) {
 		for src := lo; src < hi; src++ {
 			for dst := 0; dst < p; dst++ {
@@ -253,16 +242,39 @@ func (d *Dist) accountRemap(flowStart []int64, mdl machine.Model, res *RemapResu
 					words = elems * int64(mdl.ElemWords)
 					words += words / 32 // shared-structure perturbation ≈ 3%
 					sendWords[src] += words
-					sendT[src] += float64(words)*mdl.PackWord + mdl.MsgTime(words)
+					if flat {
+						// The legacy charge, one expression per flow (with
+						// CommTime ≡ MsgTime on a flat topology), so the
+						// float stream is bit-identical to the pre-exchange
+						// path.
+						sendT[src] += float64(words)*mdl.PackWord + mdl.CommTime(src, dst, words)
+						setups[src]++
+						setupT[src] += mdl.SetupTime(src, dst)
+						if mdl.Topo.SameNode(src, dst) {
+							intraW[src] += words
+						} else {
+							interW[src] += words
+						}
+					} else {
+						// Combined schedules charge the wire through
+						// ChargeFlows; only the pack cost is per flow.
+						sendT[src] += float64(words) * mdl.PackWord
+					}
 					packT[src] += float64(words) * mdl.PackWord
 				}
 				if rc != nil {
 					// Empty flows still ride the wire as zero-payload
-					// frames, so their retries cost a Tsetup each.
+					// frames, so their retries cost a setup each. Under the
+					// combined schedules the retry counters sit on the
+					// physical pairs of the relay (member→leader,
+					// leader→leader, leader→member); the modeled charge
+					// prices them at the pair's link rate over the pair's
+					// planned flow volume, which the flat schedule reduces
+					// to the legacy MsgTime expression.
 					pair := src*p + dst
 					var rt float64
 					if n := rc.resends[pair]; n > 0 {
-						rt += float64(n) * mdl.MsgTime(words)
+						rt += float64(n) * mdl.CommTime(src, dst, words)
 					}
 					if b := rc.backoff[pair]; b > 0 {
 						rt += float64(b) * mdl.RetryBackoff
@@ -297,6 +309,23 @@ func (d *Dist) accountRemap(flowStart []int64, mdl machine.Model, res *RemapResu
 		res.PackTime = max(res.PackTime, packT[r])
 		res.RetryTime = max(res.RetryTime, retryT[r])
 	}
+	if flat {
+		for r := 0; r < p; r++ {
+			res.Setups += setups[r]
+			res.SetupTime += setupT[r]
+			res.IntraWords += intraW[r]
+			res.InterWords += interW[r]
+		}
+	} else {
+		// The combined schedules' wire charges (setups, volume at link
+		// rate, drains, the hierarchical relay's internal barriers) land
+		// here, inside the same send superstep the flat charge occupies.
+		ch := mdl.ChargeFlows(clk, d.Exchange, flowsFromStart(flowStart, p, mdl))
+		res.Setups = ch.Msgs
+		res.SetupTime = ch.SetupTime
+		res.IntraWords = ch.IntraWords
+		res.InterWords = ch.InterWords
+	}
 	clk.Barrier()
 	res.CommTime = clk.Elapsed() - res.PackTime
 	for r := 0; r < p; r++ {
@@ -305,4 +334,24 @@ func (d *Dist) accountRemap(flowStart []int64, mdl machine.Model, res *RemapResu
 	clk.Barrier()
 	res.RebuildTime = clk.Elapsed() - res.CommTime - res.PackTime
 	res.Total = clk.Elapsed()
+}
+
+// flowsFromStart converts the canonical flow table into the sparse
+// src-major flow list machine.ChargeFlows consumes, at the modeled volume
+// of accountRemap (ElemWords per element plus the shared-structure
+// perturbation).
+func flowsFromStart(flowStart []int64, p int, mdl machine.Model) []machine.Flow {
+	var flows []machine.Flow
+	for src := 0; src < p; src++ {
+		for dst := 0; dst < p; dst++ {
+			elems := flowStart[src*p+dst+1] - flowStart[src*p+dst]
+			if elems == 0 || src == dst {
+				continue
+			}
+			words := elems * int64(mdl.ElemWords)
+			words += words / 32
+			flows = append(flows, machine.Flow{Src: int32(src), Dst: int32(dst), Words: words})
+		}
+	}
+	return flows
 }

@@ -2,7 +2,6 @@ package par
 
 import (
 	"fmt"
-	"slices"
 
 	"plum/internal/comm"
 	"plum/internal/fault"
@@ -68,22 +67,6 @@ func windowBudget(flowStart []int64, override int64) int64 {
 	}
 	total := flowStart[nf] * recWords
 	return max(largest*recWords, (total+DefaultWindowFraction-1)/DefaultWindowFraction)
-}
-
-// windowBufs builds rank src's send slices for window [f0, f1) out of the
-// packed window buffer.
-func windowBufs(fi *flowIndex, win remapWindow, bufW []int64, p, src int) [][]int64 {
-	base := fi.flowStart[win.f0]
-	bufs := make([][]int64, p)
-	for f := win.f0; f < win.f1; f++ {
-		if f/p != src {
-			continue
-		}
-		lo := (fi.flowStart[f] - base) * recWords
-		hi := (fi.flowStart[f+1] - base) * recWords
-		bufs[f%p] = bufW[lo:hi]
-	}
-	return bufs
 }
 
 // ExecuteRemapStreaming migrates element trees whose dual vertices change
@@ -156,28 +139,19 @@ func (d *Dist) ExecuteRemapStreaming(newOwner []int32, mdl machine.Model) (Remap
 		}
 		bufW := buf[:words]
 		fi.packRange(m, d.rootDual, win.f0, win.f1, bufW, d.Workers)
+		// The window's wire records addressed by canonical flow id, for
+		// whichever exchange schedule moves them. Per-window rebuild
+		// verification is plan-exact on every path: a received flow must
+		// match the plan's record count, so torn or misrouted windows fail
+		// here, not at the final conservation check.
+		rec := func(f int) []int64 {
+			lo := (fi.flowStart[f] - base) * recWords
+			hi := (fi.flowStart[f+1] - base) * recWords
+			return bufW[lo:hi]
+		}
+		plan := &winPlan{f0: win.f0, f1: win.f1, p: p, flowStart: fi.flowStart, rec: rec}
 		if !faulty {
-			if err := w.Run(func(c *comm.Comm) {
-				src := c.Rank()
-				got := c.Alltoallv(windowBufs(&fi, win, bufW, p, src))
-				// Per-window rebuild verification: every received flow must
-				// match the plan's record count exactly — torn or misrouted
-				// windows fail here, not at the final conservation check.
-				for from, data := range got {
-					if from == src {
-						continue
-					}
-					var want int64
-					if f := from*p + src; f >= win.f0 && f < win.f1 {
-						want = fi.flowStart[f+1] - fi.flowStart[f]
-					}
-					if int64(len(data)) != want*recWords {
-						panic(fmt.Sprintf("par: window flow %d->%d carried %d words, want %d",
-							from, src, len(data), want*recWords))
-					}
-					recvCount[src] += want
-				}
-			}); err != nil {
+			if err := exchangeWindow(w, d.Exchange, mdl.Topo, plan, false, recvCount, nil); err != nil {
 				return RemapResult{}, &RemapError{Failure: FailRank, Window: wi, Tries: 1, RolledBack: true, Detail: err.Error()}
 			}
 			continue
@@ -190,25 +164,7 @@ func (d *Dist) ExecuteRemapStreaming(newOwner []int32, mdl machine.Model) (Remap
 			tries++
 			winRecv := make([]int64, p)
 			failCount := make([]int64, p)
-			if err := w.Run(func(c *comm.Comm) {
-				src := c.Rank()
-				got, failed := c.AlltoallvReliable(windowBufs(&fi, win, bufW, p, src))
-				failCount[src] = int64(len(failed))
-				for from, data := range got {
-					if from == src || slices.Contains(failed, from) {
-						continue
-					}
-					var want int64
-					if f := from*p + src; f >= win.f0 && f < win.f1 {
-						want = fi.flowStart[f+1] - fi.flowStart[f]
-					}
-					if int64(len(data)) != want*recWords {
-						panic(fmt.Sprintf("par: window flow %d->%d carried %d words, want %d",
-							from, src, len(data), want*recWords))
-					}
-					winRecv[src] += want
-				}
-			}); err != nil {
+			if err := exchangeWindow(w, d.Exchange, mdl.Topo, plan, true, winRecv, failCount); err != nil {
 				return rollback(&RemapError{Failure: FailRank, Window: wi, Tries: tries, RolledBack: true, Detail: err.Error()})
 			}
 			var nfail int64

@@ -139,9 +139,10 @@ func runRounds(w World, frontier []int32, workers int, clk *machine.Clock, mdl m
 		for r := 0; r < p; r++ {
 			clk.Add(r, float64(visits[r])*mdl.PropagateVisit)
 		}
-		m, wd := x.ChargeExchange(clk, mdl, raw)
-		res.Msgs += m
-		res.Words += wd
+		ch := x.ChargeExchange(clk, mdl, raw)
+		res.Msgs += ch.Msgs
+		res.Words += ch.Words
+		res.SetupTime += ch.SetupTime
 		clk.Barrier()
 
 		slices.Sort(next)
@@ -162,10 +163,16 @@ var (
 )
 
 // retryCharge bills rank src the modeled recovery cost of one message of
-// the given word count: extra·MsgTime(words) + backoff·RetryBackoff.
-func retryCharge(clk *machine.Clock, mdl machine.Model, src int, words, extra, backoff int64) {
+// the given word count: extra·CommTime + backoff·RetryBackoff. Combined
+// messages (dst = machine.CombinedDst) have no single link, so they price
+// at the interconnect MsgTime — identical to CommTime on a flat topology.
+func retryCharge(clk *machine.Clock, mdl machine.Model, src int, dst int32, words, extra, backoff int64) {
 	if extra != 0 || backoff != 0 {
-		clk.Add(src, float64(extra)*mdl.MsgTime(words)+float64(backoff)*mdl.RetryBackoff)
+		msg := mdl.MsgTime(words)
+		if dst >= 0 {
+			msg = mdl.CommTime(src, int(dst), words)
+		}
+		clk.Add(src, float64(extra)*msg+float64(backoff)*mdl.RetryBackoff)
 	}
 }
 
@@ -192,19 +199,17 @@ func (b *BulkSync) Run(w World, frontier []int32, clk *machine.Clock, mdl machin
 	return runRounds(w, frontier, b.workers, clk, mdl, b)
 }
 
-// ChargeExchange implements Propagator: one message per (src, dst) batch,
-// Tsetup plus the per-word copy charged to the sender. With a fault model
-// set, each batch message additionally draws its fate per (src, dst) pair
-// and the sender is billed the modeled retries.
-func (b *BulkSync) ChargeExchange(clk *machine.Clock, mdl machine.Model, pairs []PairWords) (msgs, words int64) {
-	for _, pw := range pairs {
-		clk.Add(int(pw.Src), mdl.MsgTime(pw.Words))
-		msgs++
-		words += pw.Words
-		extra, backoff := b.faults.Resends(pw.Src, pw.Dst)
-		retryCharge(clk, mdl, int(pw.Src), pw.Words, extra, backoff)
-	}
-	return msgs, words
+// ChargeExchange implements Propagator: one message per (src, dst) batch
+// through the machine model's flat schedule — the link's CommTime charged
+// to the sender, which on a flat topology is the legacy Tsetup plus
+// per-word copy, bit for bit. With a fault model set, each batch message
+// additionally draws its fate per (src, dst) pair and the sender is
+// billed the modeled retries at the same clock position as before.
+func (b *BulkSync) ChargeExchange(clk *machine.Clock, mdl machine.Model, pairs []PairWords) machine.ExchangeCharge {
+	return mdl.ChargeFlowsRetry(clk, machine.ExchangeFlat, pairs, func(src, dst int32, words int64) {
+		extra, backoff := b.faults.Resends(src, dst)
+		retryCharge(clk, mdl, int(src), dst, words, extra, backoff)
+	})
 }
 
 // Aggregated is the message-aggregation exchange for high processor
@@ -234,37 +239,19 @@ func (a *Aggregated) Run(w World, frontier []int32, clk *machine.Clock, mdl mach
 	return runRounds(w, frontier, a.workers, clk, mdl, a)
 }
 
-// aggDst is the fault-key destination of an aggregated combined message,
-// which has no single receiver: the sentinel keys the schedule per source
-// without colliding with any real rank (the fate key truncates dst to 16
-// bits, and ranks never reach 0xffff).
-const aggDst = -1
-
 // ChargeExchange implements Propagator: one combined message per active
-// source, per-word drain on every destination. The fault unit follows the
-// message model: with a fault model set, each combined message draws one
-// fate (keyed on the source and the aggDst sentinel) and a resend repays
-// the whole combined MsgTime — aggregation batches the retries exactly as
-// it batches the sends.
-func (a *Aggregated) ChargeExchange(clk *machine.Clock, mdl machine.Model, pairs []PairWords) (msgs, words int64) {
-	p := clk.P()
-	out := make([]int64, p)
-	in := make([]int64, p)
-	for _, pw := range pairs {
-		out[pw.Src] += pw.Words
-		in[pw.Dst] += pw.Words
-		words += pw.Words
-	}
-	for r := 0; r < p; r++ {
-		if out[r] > 0 {
-			clk.Add(r, mdl.MsgTime(out[r]))
-			msgs++
-			extra, backoff := a.faults.Resends(int32(r), aggDst)
-			retryCharge(clk, mdl, r, out[r], extra, backoff)
-		}
-		if in[r] > 0 {
-			clk.Add(r, float64(in[r])*mdl.Tlat)
-		}
-	}
-	return msgs, words
+// source, per-word drain on every destination, through the machine
+// model's aggregated schedule (whose flat-topology branch reproduces the
+// legacy charges bit for bit, and whose node-topology branch prices each
+// flow at its own link rate). The fault unit follows the message model:
+// with a fault model set, each combined message draws one fate — keyed on
+// the source and the machine.CombinedDst sentinel, which cannot collide
+// with a real rank (the fate key truncates dst to 16 bits, and ranks
+// never reach 0xffff) — and a resend repays the whole combined MsgTime:
+// aggregation batches the retries exactly as it batches the sends.
+func (a *Aggregated) ChargeExchange(clk *machine.Clock, mdl machine.Model, pairs []PairWords) machine.ExchangeCharge {
+	return mdl.ChargeFlowsRetry(clk, machine.ExchangeAggregated, pairs, func(src, dst int32, words int64) {
+		extra, backoff := a.faults.Resends(src, dst)
+		retryCharge(clk, mdl, int(src), dst, words, extra, backoff)
+	})
 }

@@ -150,11 +150,11 @@ type World interface {
 }
 
 // PairWords is one (src, dst) notification batch of an exchange: Words
-// message words bound from rank Src to rank Dst.
-type PairWords struct {
-	Src, Dst int32
-	Words    int64
-}
+// message words bound from rank Src to rank Dst. It is the machine
+// model's Flow — the adaption notification exchanges and the remap
+// payload exchange feed the same topology-aware charge functions, so
+// their communication models can never drift apart.
+type PairWords = machine.Flow
 
 // comparePairs orders batches by (src, dst) — the canonical exchange
 // order every backend charges in.
@@ -214,6 +214,11 @@ type Result struct {
 	// exchange semantics. Words is backend-invariant; Msgs is not
 	// (aggregation is the point of the Aggregated backend).
 	Msgs, Words int64
+	// SetupTime is the summed modeled message-setup charge of the
+	// exchanges — the slice of the clock the backend's message model
+	// controls — reported separately so adaption accounting can show the
+	// setup/volume split alongside the remap executor's.
+	SetupTime float64
 	// Ops is the engine's abstract work accounting: Total and MemTotal
 	// are worker-invariant, Crit/MemCrit reflect the effective worker
 	// count of each round's scan.
@@ -236,9 +241,9 @@ type Propagator interface {
 	// ChargeExchange charges one bulk exchange of shared-object
 	// notifications under the backend's message model, given the
 	// per-(src, dst) word counts in canonical sorted order (see
-	// AggregatePairs), and returns the messages and words counted. It
-	// does not barrier; callers own the superstep structure.
-	ChargeExchange(clk *machine.Clock, mdl machine.Model, pairs []PairWords) (msgs, words int64)
+	// AggregatePairs), and returns the charge breakdown. It does not
+	// barrier; callers own the superstep structure.
+	ChargeExchange(clk *machine.Clock, mdl machine.Model, pairs []PairWords) machine.ExchangeCharge
 }
 
 // FaultAware is the optional capability of a backend whose exchanges can

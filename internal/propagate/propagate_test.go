@@ -225,9 +225,12 @@ func TestAggregatedChargeSemantics(t *testing.T) {
 	}
 
 	clk := machine.NewClock(3)
-	msgs, words := propagate.NewBulkSync(1).ChargeExchange(clk, mdl, pairs)
-	if msgs != 3 || words != 16 {
-		t.Fatalf("bulksync counted %d msgs / %d words", msgs, words)
+	ch := propagate.NewBulkSync(1).ChargeExchange(clk, mdl, pairs)
+	if ch.Msgs != 3 || ch.Words != 16 {
+		t.Fatalf("bulksync counted %d msgs / %d words", ch.Msgs, ch.Words)
+	}
+	if got, want := ch.SetupTime, 3*mdl.Tsetup; got != want {
+		t.Errorf("bulksync reported setup time %g, want %g", got, want)
 	}
 	if got, want := clk.Rank(0), mdl.MsgTime(10)+mdl.MsgTime(5); got != want {
 		t.Errorf("bulksync rank 0 charged %g, want %g", got, want)
@@ -237,9 +240,12 @@ func TestAggregatedChargeSemantics(t *testing.T) {
 	}
 
 	clk = machine.NewClock(3)
-	msgs, words = propagate.NewAggregated(1).ChargeExchange(clk, mdl, pairs)
-	if msgs != 2 || words != 16 {
-		t.Fatalf("aggregated counted %d msgs / %d words", msgs, words)
+	ch = propagate.NewAggregated(1).ChargeExchange(clk, mdl, pairs)
+	if ch.Msgs != 2 || ch.Words != 16 {
+		t.Fatalf("aggregated counted %d msgs / %d words", ch.Msgs, ch.Words)
+	}
+	if got, want := ch.SetupTime, 2*mdl.Tsetup; got != want {
+		t.Errorf("aggregated reported setup time %g, want %g", got, want)
 	}
 	if got, want := clk.Rank(0), mdl.MsgTime(15)+1*mdl.Tlat; got != want {
 		t.Errorf("aggregated rank 0 charged %g, want %g", got, want)
