@@ -21,7 +21,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: table1, fig8, fig9, fig10, fig11, fig12, extension, partitioners, remap, adapt, overlap, faults, comm, all")
+	exp := flag.String("exp", "all", "experiment to run: table1, fig8, fig9, fig10, fig11, fig12, extension, partitioners, remap, adapt, overlap, faults, recover, comm, all")
 	k := flag.Int("k", 16, "partition count for -exp partitioners")
 	faultSeed := flag.Int64("fault-seed", 7, "fault schedule seed for -exp faults")
 	workers := flag.Int("workers", 0, "worker goroutines for parallel partitioning, refinement, and adaption phases (0 = GOMAXPROCS)")
@@ -67,6 +67,7 @@ func main() {
 		{"adapt", func() fmt.Stringer { return experiments.RunAdaptTable(*workers, *propg) }},
 		{"overlap", func() fmt.Stringer { return experiments.RunOverlapTable(*workers) }},
 		{"faults", func() fmt.Stringer { return experiments.RunFaultTable(*faultSeed, *workers) }},
+		{"recover", func() fmt.Stringer { return experiments.RunRecoverTable(*faultSeed, *workers) }},
 		{"comm", func() fmt.Stringer { return experiments.RunCommTable(*exchange, *nodesize) }},
 	}
 

@@ -48,8 +48,10 @@ func main() {
 		seed    = flag.Int64("seed", 1, "random seed")
 		workers = flag.Int("workers", 0, "worker goroutines for parallel partitioning and refinement phases (0 = GOMAXPROCS)")
 		overlap = flag.Bool("overlap", false, "hide the balance pipeline behind the solver iterations and stream the remap payload one flow window at a time")
-		faults  = flag.String("faults", "", "deterministic fault-injection plan, e.g. seed=7,rate=0.1,kinds=drop+corrupt (empty = faults off)")
+		faults  = flag.String("faults", "", "deterministic fault-injection plan, e.g. seed=7,rate=0.1,kinds=drop+corrupt or kinds=crash (empty = faults off)")
 		retries = flag.Int("retries", -1, "recovery budget with -faults: extra send attempts per message and re-executions per failed remap window (-1 = default policy: 3 attempts, 2 window retries)")
+		ckpt    = flag.Bool("checkpoint", false, "capture a copy-on-write cycle checkpoint before every balance pass (forced on by a crash-capable -faults plan)")
+		deadln  = flag.Duration("deadline", 0, "wall-clock watchdog per comm stage; a stage that exceeds it aborts with a timeout error (0 = no watchdog)")
 		scale   = flag.Float64("scale", 1.0, "mesh scale factor (1.0 = paper's 61k elements)")
 		verbose = flag.Bool("v", false, "print adaption phase breakdowns")
 	)
@@ -100,6 +102,8 @@ func main() {
 	if *retries >= 0 {
 		cfg.Retry = fault.Budget(*retries)
 	}
+	cfg.Checkpoint = *ckpt
+	cfg.StageDeadline = *deadln
 
 	rp := meshgen.DefaultRotor()
 	if *scale != 1.0 {
@@ -132,6 +136,9 @@ func main() {
 		r := cfg.Retry.Normalize()
 		fmt.Printf("faults: %s attempts=%d window-retries=%d\n", plan, r.MsgAttempts, r.WindowRetries)
 	}
+	if fw.Cfg.Checkpoint {
+		fmt.Printf("checkpoint: copy-on-write cycle snapshots on (deadline=%v)\n", fw.Cfg.StageDeadline)
+	}
 
 	var stratFn func(a *adapt.Adaptor)
 	switch *strat {
@@ -156,21 +163,26 @@ func main() {
 		log.Fatalf("unknown strategy %q", *strat)
 	}
 
+	var crashed []int
 	for c := 1; c <= *cycles; c++ {
 		rep, err := fw.Cycle(stratFn)
 		if err != nil {
 			log.Fatal(err)
 		}
 		b := rep.Balance
+		crashed = append(crashed, b.CrashedRanks...)
 		fmt.Printf("cycle %d: elems=%d refined=%d adaptT=%.3fs imb %.2f",
 			c, m.NumActiveElems(), rep.Refine.TotalSubdivided(), rep.AdaptTime.Total, b.ImbalanceBefore)
 		switch {
 		case !b.Repartitioned:
-			fmt.Printf(" (balanced, no repartition)\n")
+			fmt.Printf(" (balanced, no repartition)")
+		case b.Outcome == core.OutcomeRecovered:
+			fmt.Printf(" -> remap lost ranks %v, RECOVERED onto %d survivors: moved %d elems, imb %.2f",
+				b.CrashedRanks, fw.D.AliveCount(), b.Recovery.Moved, b.ImbalanceAfter)
 		case b.Outcome == core.OutcomeRolledBack || b.Outcome == core.OutcomeDegraded:
-			fmt.Printf(" -> repartitioned, remap ROLLED BACK, continuing on old partition (%s)\n", b.FaultDetail)
+			fmt.Printf(" -> repartitioned, remap ROLLED BACK, continuing on old partition (%s)", b.FaultDetail)
 		case !b.Accepted:
-			fmt.Printf(" -> repartitioned, remap REJECTED (gain %.3g ≤ cost %.3g)\n", b.Gain, b.Cost)
+			fmt.Printf(" -> repartitioned, remap REJECTED (gain %.3g ≤ cost %.3g)", b.Gain, b.Cost)
 		default:
 			fmt.Printf(" -> %.2f, moved %d elems in %d sets (gain %.3g > cost %.3g), remapT=%.3fs",
 				b.ImbalanceAfter, b.MoveC, b.MoveN, b.Gain, b.Cost, b.Remap.Total)
@@ -178,8 +190,8 @@ func main() {
 				fmt.Printf(" [recovered: %d msg retries, %d window retries]",
 					b.Remap.Retries, b.Remap.WindowRetries)
 			}
-			fmt.Println()
 		}
+		fmt.Printf(" outcome=%s\n", rep.Outcome)
 		if rep.Outcome == core.OutcomeDegraded {
 			fmt.Fprintf(os.Stderr, "plum: degraded at cycle %d: %d consecutive balance rollbacks under plan %q: %s\n",
 				c, core.DegradedStreak, plan, b.FaultDetail)
@@ -216,6 +228,12 @@ func main() {
 	if err := m.Check(); err != nil {
 		fmt.Fprintf(os.Stderr, "FINAL MESH INVALID: %v\n", err)
 		os.Exit(1)
+	}
+	if len(crashed) > 0 {
+		// Rank deaths the run survived are a success, not a failure: the
+		// note records the reduced capacity, and the exit stays 0.
+		fmt.Fprintf(os.Stderr, "plum: recovered from crashes of ranks %v: %d of %d ranks remain\n",
+			crashed, fw.D.AliveCount(), cfg.P)
 	}
 	fmt.Printf("final mesh valid: %s\n", m.Stats())
 }

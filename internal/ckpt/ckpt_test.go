@@ -1,0 +1,138 @@
+package ckpt
+
+import (
+	"reflect"
+	"testing"
+)
+
+func state(cycle int, owners []int32, weights []int64) State {
+	return State{Cycle: cycle, Streak: cycle % 3, Owners: owners, Weights: weights}
+}
+
+func TestRestoreEmpty(t *testing.T) {
+	c := New()
+	if _, ok := c.Restore(); ok {
+		t.Fatal("Restore on an empty checkpoint reported ok")
+	}
+}
+
+func TestRestoreByteExact(t *testing.T) {
+	c := New()
+	want := state(4, []int32{0, 1, 2, 1, 0}, []int64{5, 6, 7, 8, 9})
+	c.Capture(State{Cycle: want.Cycle, Streak: want.Streak,
+		Owners:  append([]int32(nil), want.Owners...),
+		Weights: append([]int64(nil), want.Weights...)})
+	got, ok := c.Restore()
+	if !ok {
+		t.Fatal("Restore failed after Capture")
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("restore mismatch:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+// A restored slice must be a deep copy: mutating it and re-restoring
+// must hand back the original capture.
+func TestRestoreIsolation(t *testing.T) {
+	c := New()
+	c.Capture(state(1, []int32{3, 1, 4}, []int64{1, 5, 9}))
+	got, _ := c.Restore()
+	got.Owners[0] = 99
+	got.Weights[2] = -1
+	again, _ := c.Restore()
+	if again.Owners[0] != 3 || again.Weights[2] != 9 {
+		t.Fatalf("mutating a restored state leaked into the capture: %+v", again)
+	}
+	// The capture must also not alias the caller's input slices.
+	in := state(2, []int32{7, 7, 7}, []int64{2, 2, 2})
+	c.Capture(in)
+	in.Owners[1] = 0
+	in.Weights[1] = 0
+	got, _ = c.Restore()
+	if got.Owners[1] != 7 || got.Weights[1] != 2 {
+		t.Fatalf("capture aliased the input slices: %+v", got)
+	}
+}
+
+// Re-capturing an identical state must write zero delta words, and a
+// capture with k changed entries exactly k.
+func TestDeltaAccounting(t *testing.T) {
+	c := New()
+	owners := []int32{0, 1, 2, 3, 0, 1, 2, 3}
+	weights := []int64{1, 2, 3, 4, 5, 6, 7, 8}
+	c.Capture(state(0, owners, weights))
+	st := c.Stats()
+	if st.FullWords != int64(len(owners)+len(weights)) || st.DeltaWords != 0 {
+		t.Fatalf("first capture: full=%d delta=%d, want full=%d delta=0",
+			st.FullWords, st.DeltaWords, len(owners)+len(weights))
+	}
+	c.Capture(state(1, owners, weights))
+	if got := c.Stats(); got.DeltaWords != 0 || got.FullWords != st.FullWords {
+		t.Fatalf("identical re-capture wrote words: %+v", got)
+	}
+	owners2 := append([]int32(nil), owners...)
+	owners2[2] = 9
+	owners2[5] = 9
+	weights2 := append([]int64(nil), weights...)
+	weights2[7] = 100
+	c.Capture(state(2, owners2, weights2))
+	if got := c.Stats(); got.DeltaWords != 3 || got.FullWords != st.FullWords {
+		t.Fatalf("3-entry change: full=%d delta=%d, want full=%d delta=3",
+			got.FullWords, got.DeltaWords, st.FullWords)
+	}
+	got, _ := c.Restore()
+	if !reflect.DeepEqual(got.Owners, owners2) || !reflect.DeepEqual(got.Weights, weights2) {
+		t.Fatalf("patched restore mismatch: %+v", got)
+	}
+}
+
+// A length change (adaption grew the mesh) falls back to a full clone
+// and restores byte-exact.
+func TestLengthChangeClones(t *testing.T) {
+	c := New()
+	c.Capture(state(0, []int32{0, 1}, []int64{1, 2}))
+	full0 := c.Stats().FullWords
+	owners := []int32{1, 0, 1, 0}
+	weights := []int64{4, 3, 2, 1}
+	c.Capture(state(1, owners, weights))
+	st := c.Stats()
+	if st.FullWords != full0+int64(len(owners)+len(weights)) {
+		t.Fatalf("length change did not clone: %+v", st)
+	}
+	got, _ := c.Restore()
+	if !reflect.DeepEqual(got.Owners, owners) || !reflect.DeepEqual(got.Weights, weights) {
+		t.Fatalf("restore after length change mismatch: %+v", got)
+	}
+	if st = c.Stats(); st.Restores != 1 || st.Captures != 2 {
+		t.Fatalf("counter mismatch: %+v", st)
+	}
+}
+
+// Arbitrary capture sequences: the restore always equals the last
+// capture exactly, regardless of the patch/clone path taken.
+func TestCaptureSequences(t *testing.T) {
+	c := New()
+	rng := uint64(12345)
+	next := func(n int) int {
+		rng = rng*6364136223846793005 + 1442695040888963407
+		return int(rng>>33) % n
+	}
+	var want State
+	for step := 0; step < 50; step++ {
+		n := 1 + next(20)
+		owners := make([]int32, n)
+		weights := make([]int64, n)
+		for i := range owners {
+			owners[i] = int32(next(8))
+			weights[i] = int64(next(100))
+		}
+		want = state(step, owners, weights)
+		c.Capture(State{Cycle: want.Cycle, Streak: want.Streak,
+			Owners:  append([]int32(nil), owners...),
+			Weights: append([]int64(nil), weights...)})
+		got, ok := c.Restore()
+		if !ok || !reflect.DeepEqual(got, want) {
+			t.Fatalf("step %d: restore mismatch:\n got %+v\nwant %+v", step, got, want)
+		}
+	}
+}

@@ -20,8 +20,11 @@ package comm
 
 import (
 	"fmt"
+	"runtime/debug"
+	"sort"
 	"strings"
 	"sync"
+	"time"
 
 	"plum/internal/fault"
 )
@@ -38,6 +41,39 @@ type message struct {
 type poisonMark struct{}
 
 var poisonSentinel any = poisonMark{}
+
+// crashMark is the panic value Comm.Crash unwinds with: a modeled rank
+// death, not a program bug. Run separates it from genuine panics and
+// reports it as a *CrashError so callers can run survivor recovery
+// instead of treating the stage as corrupt.
+type crashMark struct{ rank int }
+
+// CrashError reports the modeled rank deaths that ended a Run. The
+// surviving ranks were unwound cleanly at their next blocking point (the
+// in-process analogue of detecting a dead peer at the next barrier); the
+// stage's effects must be rolled back and its work redistributed onto
+// the survivors.
+type CrashError struct {
+	// Ranks are the crashed ranks, sorted ascending.
+	Ranks []int
+}
+
+func (e *CrashError) Error() string {
+	return fmt.Sprintf("comm: rank crash: ranks %v died mid-stage", e.Ranks)
+}
+
+// TimeoutError reports that a Run exceeded the world's stage deadline:
+// at least one rank was genuinely hung (not blocked in comm, where
+// poisoning would have unwound it). The world is poisoned and its state
+// is torn mid-stage; the caller must treat the stage as failed.
+type TimeoutError struct {
+	// Deadline is the wall-clock budget that expired.
+	Deadline time.Duration
+}
+
+func (e *TimeoutError) Error() string {
+	return fmt.Sprintf("comm: stage deadline %v exceeded: worker hung outside the communication layer", e.Deadline)
+}
 
 // mailbox is a rank's incoming queue with (src, tag) matching.
 type mailbox struct {
@@ -100,6 +136,7 @@ type World struct {
 	// pairExpect, which the receiver owns), so no locking is needed.
 	hook        func(src, dst, attempt int) fault.Kind
 	maxAttempts int
+	deadline    time.Duration // wall-clock watchdog per Run; 0 = off
 	pairAttempt []int32 // fault-hook consultations per pair (sender-owned)
 	pairSeq     []int64 // next sequence number per pair (sender-owned)
 	pairExpect  []int64 // next expected sequence per pair (receiver-owned)
@@ -163,17 +200,41 @@ func (w *World) Poisoned() bool {
 	return w.dead
 }
 
+// SetDeadline arms a wall-clock watchdog on subsequent Run calls: a Run
+// whose ranks have not all finished within d poisons the world and
+// returns a *TimeoutError instead of waiting forever on a hung worker.
+// Zero disables the watchdog. Like SetFaults it must be called between
+// Run calls, not concurrently with one.
+func (w *World) SetDeadline(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	w.deadline = d
+}
+
+// watchdogGrace is how long a timed-out Run waits after poisoning for
+// the ranks to unwind before abandoning them. Ranks blocked in comm wake
+// immediately; a rank hung in user code never will, and Run returns
+// without it (the goroutine leaks, but the world is already dead).
+const watchdogGrace = 100 * time.Millisecond
+
 // Run executes f on every rank concurrently and returns when all ranks
 // finish. A panic on any rank poisons the world — every other rank blocked
 // in Recv or Barrier unwinds instead of deadlocking — and Run returns an
-// aggregated error naming the ranks that originally panicked. A poisoned
-// world stays dead: later Run calls fail immediately.
+// aggregated error naming the ranks that originally panicked, each with
+// the stack trace captured at the panic site. Modeled rank deaths
+// (Comm.Crash) are separated from genuine panics and reported as a
+// *CrashError naming the dead ranks; if both occur, the genuine panics
+// win. With a deadline armed (SetDeadline), a Run that outlives it
+// returns a *TimeoutError. A poisoned world stays dead: later Run calls
+// fail immediately.
 func (w *World) Run(f func(c *Comm)) error {
 	if w.Poisoned() {
 		return fmt.Errorf("comm: world already poisoned by an earlier rank failure")
 	}
 	var wg sync.WaitGroup
 	panics := make([]any, w.p)
+	stacks := make([][]byte, w.p)
 	for r := 0; r < w.p; r++ {
 		wg.Add(1)
 		go func(rank int) {
@@ -181,24 +242,58 @@ func (w *World) Run(f func(c *Comm)) error {
 			defer func() {
 				if e := recover(); e != nil {
 					panics[rank] = e
+					if _, crash := e.(crashMark); !crash && e != poisonSentinel {
+						stacks[rank] = debug.Stack()
+					}
 					w.poison()
 				}
 			}()
 			f(&Comm{w: w, rank: rank})
 		}(r)
 	}
-	wg.Wait()
+	if w.deadline > 0 {
+		done := make(chan struct{})
+		go func() { wg.Wait(); close(done) }()
+		timer := time.NewTimer(w.deadline)
+		defer timer.Stop()
+		select {
+		case <-done:
+		case <-timer.C:
+			// Deadline blown: at least one rank is hung. Poison so ranks
+			// blocked in comm unwind, give them a grace period, then
+			// report the timeout — the stage's state is torn either way.
+			w.poison()
+			grace := time.NewTimer(watchdogGrace)
+			defer grace.Stop()
+			select {
+			case <-done:
+			case <-grace.C:
+			}
+			return &TimeoutError{Deadline: w.deadline}
+		}
+	} else {
+		wg.Wait()
+	}
 	var parts []string
+	var crashed []int
 	for r, e := range panics {
 		if e == nil || e == poisonSentinel {
 			continue
 		}
-		parts = append(parts, fmt.Sprintf("rank %d panicked: %v", r, e))
+		if _, ok := e.(crashMark); ok {
+			crashed = append(crashed, r)
+			continue
+		}
+		parts = append(parts, fmt.Sprintf("rank %d panicked: %v\n%s", r, e, stacks[r]))
 	}
-	if parts == nil {
-		return nil
+	if parts != nil {
+		return fmt.Errorf("comm: %s", strings.Join(parts, "; "))
 	}
-	return fmt.Errorf("comm: %s", strings.Join(parts, "; "))
+	if crashed != nil {
+		sort.Ints(crashed)
+		return &CrashError{Ranks: crashed}
+	}
+	return nil
 }
 
 // RankStats returns the accumulated traffic counters per rank.
@@ -225,6 +320,15 @@ type Comm struct {
 
 // Rank returns this rank's id in [0, P).
 func (c *Comm) Rank() int { return c.rank }
+
+// Crash models this rank dying mid-stage: it unwinds the rank
+// immediately, and the peers discover the death at their next blocking
+// point (barrier or receive) instead of hanging. Run reports the deaths
+// as a *CrashError so the caller can roll the stage back and remap the
+// dead ranks' work onto the survivors.
+func (c *Comm) Crash() {
+	panic(crashMark{rank: c.rank})
+}
 
 // P returns the communicator size.
 func (c *Comm) P() int { return c.w.p }

@@ -12,8 +12,10 @@ import (
 	"errors"
 	"fmt"
 	"slices"
+	"time"
 
 	"plum/internal/adapt"
+	"plum/internal/ckpt"
 	"plum/internal/dual"
 	"plum/internal/fault"
 	"plum/internal/geom"
@@ -139,6 +141,21 @@ type Config struct {
 	// per message and re-executions per failed remap window. The zero
 	// value selects fault.DefaultRetry.
 	Retry fault.Retry
+	// Checkpoint snapshots the recoverable cycle state — ownership,
+	// element weights, the fault-cycle scope, the rollback streak — into
+	// an internal/ckpt checkpoint before each balance pass, so a rank
+	// crash mid-remap restores to an audited pre-pass state before the
+	// survivor remap runs. Delta/copy-on-write: a steady cycle writes only
+	// the changed words. New force-enables it when the fault plan can
+	// crash ranks; it can also be turned on alone to measure the cost.
+	Checkpoint bool
+	// StageDeadline arms a wall-clock watchdog on every remap exchange
+	// stage: a stage whose worker ranks have not all finished within the
+	// deadline fails with a typed timeout error instead of hanging the
+	// process. Zero (the default) disables the watchdog — wall-clock
+	// deadlines are inherently timing-dependent, so determinism-sensitive
+	// runs leave this off. Negative is rejected by New.
+	StageDeadline time.Duration
 }
 
 // DefaultConfig returns the configuration used throughout the experiments:
@@ -180,6 +197,21 @@ type Framework struct {
 	// DegradedStreak the outcome escalates to OutcomeDegraded. A
 	// committed remap resets it.
 	rollbackStreak int
+	// ck is the cycle checkpoint (Config.Checkpoint); nil when
+	// checkpointing is off.
+	ck *ckpt.Checkpoint
+}
+
+// CheckpointStats returns the cycle checkpoint's capture/restore
+// counters (zero when Config.Checkpoint is off). The full-clone vs
+// delta-word split is the measured cost of the near-zero steady-state
+// claim: after the first capture, a cycle whose ownership barely moved
+// writes only the changed words.
+func (f *Framework) CheckpointStats() ckpt.Stats {
+	if f.ck == nil {
+		return ckpt.Stats{}
+	}
+	return f.ck.Stats()
 }
 
 // refiner resolves the boundary-refinement backend for the SFC hot path
@@ -271,6 +303,15 @@ func New(m *mesh.Mesh, sol *solver.Solver, cfg Config) (*Framework, error) {
 	if err := cfg.Faults.Validate(); err != nil {
 		return nil, fmt.Errorf("core: %w", err)
 	}
+	if cfg.StageDeadline < 0 {
+		return nil, fmt.Errorf("core: negative StageDeadline %v", cfg.StageDeadline)
+	}
+	if cfg.Faults.CrashEnabled() {
+		// Crash recovery restores from the cycle checkpoint before the
+		// survivor remap; a crash plan without checkpoints would have no
+		// audited state to recover to.
+		cfg.Checkpoint = true
+	}
 	for i := 0; i < cfg.PreAdapt; i++ {
 		pa := adapt.New(m)
 		pa.MarkRegion(geom.All{}, adapt.MarkRefine)
@@ -298,14 +339,19 @@ func New(m *mesh.Mesh, sol *solver.Solver, cfg Config) (*Framework, error) {
 	d.Exchange = exch       // the remap payload exchange schedule
 	d.Faults = cfg.Faults   // fault plan + recovery budget for the balance cycles
 	d.Retry = cfg.Retry
-	return &Framework{
+	d.StageDeadline = cfg.StageDeadline
+	fw := &Framework{
 		Cfg: cfg,
 		M:   m,
 		G:   g,
 		D:   d,
 		A:   adapt.New(m),
 		S:   sol,
-	}, nil
+	}
+	if cfg.Checkpoint {
+		fw.ck = ckpt.New()
+	}
+	return fw, nil
 }
 
 // partitionMaybeAgglomerated partitions g into cfg.P parts, optionally via
@@ -338,12 +384,26 @@ func (f *Framework) Loads() []int64 {
 	return loads
 }
 
+// aliveLoads returns the computational loads of the surviving ranks,
+// indexed by position in alive. With every rank alive the values and
+// their order equal Loads() exactly, so the imbalance floats are
+// bit-identical to the pre-crash-recovery arithmetic.
+func (f *Framework) aliveLoads(alive []int32) []int64 {
+	full := f.Loads()
+	out := make([]int64, len(alive))
+	for i, r := range alive {
+		out[i] = full[r]
+	}
+	return out
+}
+
 // Evaluate is the preliminary evaluation step: it refreshes the dual
-// weights from the mesh and returns the imbalance factor Wmax/Wavg and
-// whether it exceeds the repartitioning threshold.
+// weights from the mesh and returns the imbalance factor Wmax/Wavg over
+// the surviving ranks and whether it exceeds the repartitioning
+// threshold.
 func (f *Framework) Evaluate() (imbalance float64, needsRepartition bool) {
 	f.G.UpdateWeights(f.M)
-	imb := par.ImbalanceFactor(f.Loads())
+	imb := par.ImbalanceFactor(f.aliveLoads(f.D.Alive()))
 	return imb, imb > f.Cfg.ImbalanceThreshold
 }
 
@@ -360,6 +420,12 @@ const (
 	// OutcomeRetriedCommitted: the remap executed and converged to the
 	// fault-free result, but only after transport or window retries.
 	OutcomeRetriedCommitted
+	// OutcomeRecovered: one or more ranks crashed mid-remap; the pass
+	// restored the cycle checkpoint and remapped the dead ranks' elements
+	// onto the survivors with the balancer's own partitioner + remap
+	// machinery. The run continues on fewer processors with every element
+	// survivor-owned and the total weight conserved.
+	OutcomeRecovered
 	// OutcomeRolledBack: the remap exhausted its retry budget and rolled
 	// back; the cycle continues on the old partition (graceful
 	// degradation) with the pre-balance ownership verifiably intact.
@@ -382,6 +448,8 @@ func (o BalanceOutcome) String() string {
 		return "committed"
 	case OutcomeRetriedCommitted:
 		return "retried-committed"
+	case OutcomeRecovered:
+		return "recovered"
 	case OutcomeRolledBack:
 		return "rolled-back"
 	case OutcomeDegraded:
@@ -489,12 +557,25 @@ type BalanceReport struct {
 	// Remap holds the executed migration (zero when not accepted).
 	Remap par.RemapResult
 	// Outcome classifies the pass under the fault plan: Committed,
-	// RetriedCommitted, RolledBack, or Degraded. Always Committed without
-	// a plan.
+	// RetriedCommitted, Recovered, RolledBack, or Degraded. Always
+	// Committed without a plan.
 	Outcome BalanceOutcome
-	// FaultDetail is the rolled-back remap's diagnostic (the RemapError
-	// text); empty unless Outcome is RolledBack or Degraded.
+	// FaultDetail is the failed remap's diagnostic (the RemapError text);
+	// empty unless Outcome is Recovered, RolledBack, or Degraded.
 	FaultDetail string
+	// CrashedRanks names the ranks that died this pass (sorted); nil
+	// unless Outcome is Recovered.
+	CrashedRanks []int
+	// Alive is the surviving processor count the pass balanced over —
+	// Config.P until the first crash, fewer after.
+	Alive int
+	// Recovery holds the survivor remap that repaired a crash: the
+	// dead ranks' elements re-sourced from the cycle checkpoint's replica
+	// and exchanged onto the P−|crashed| survivors through the ordinary
+	// remap executor, with its machine-model charges (ChargeFlows under
+	// the configured exchange schedule) intact. Zero unless Outcome is
+	// Recovered.
+	Recovery par.RemapResult
 }
 
 // Balance runs the repartitioning / reassignment / cost-decision /
@@ -515,7 +596,21 @@ func (f *Framework) balance(window float64) (BalanceReport, error) {
 	var rep BalanceReport
 	rep.Exchange = f.D.Exchange
 	f.G.UpdateWeights(f.M)
-	loads := f.Loads()
+	// Capture the recoverable cycle state before anything mutates: a rank
+	// crash mid-remap restores to exactly this point before the survivor
+	// remap runs. Delta-captured, so a steady cycle writes almost nothing.
+	if f.ck != nil {
+		f.ck.Capture(ckpt.State{Cycle: f.D.FaultCycle, Streak: f.rollbackStreak,
+			Owners: f.D.Owners(), Weights: f.G.Wcomp})
+	}
+	// All balance targets are the surviving ranks: after a crash the run
+	// continues on fewer processors, and dead ranks must never appear in
+	// an imbalance denominator or receive a partition. With every rank
+	// alive the compaction is the identity and every float below is
+	// bit-identical to the legacy arithmetic.
+	alive := f.D.Alive()
+	rep.Alive = len(alive)
+	loads := f.aliveLoads(alive)
 	rep.ImbalanceBefore = par.ImbalanceFactor(loads)
 	rep.ImbalanceAfter = rep.ImbalanceBefore
 	rep.WmaxOld = slices.Max(loads)
@@ -524,8 +619,8 @@ func (f *Framework) balance(window float64) (BalanceReport, error) {
 	}
 	rep.Repartitioned = true
 
-	// Repartition the dual graph into P·F parts.
-	nParts := f.Cfg.P * f.Cfg.F
+	// Repartition the dual graph into S·F parts over the S survivors.
+	nParts := rep.Alive * f.Cfg.F
 	newPart, partOps := f.repartition(nParts)
 	rep.RepartitionOps = partOps.Total
 	rep.RepartitionCritOps = partOps.Crit
@@ -535,8 +630,9 @@ func (f *Framework) balance(window float64) (BalanceReport, error) {
 	rep.RepartitionMemTime = float64(partOps.MemCrit) * f.Cfg.Model.MemOp
 	rep.RepartitionTime = rep.RepartitionCompTime + rep.RepartitionMemTime
 
-	// Similarity matrix + processor reassignment.
-	sim := remap.Build(f.D.Owners(), newPart, f.G.Wremap, f.Cfg.P, f.Cfg.F)
+	// Similarity matrix + processor reassignment, in the compacted
+	// survivor index space (identity when every rank is alive).
+	sim := remap.Build(f.compactOwners(alive), newPart, f.G.Wremap, rep.Alive, f.Cfg.F)
 	var mp remap.Mapping
 	if f.Cfg.Mapper == MapperOptimal {
 		mp, rep.Objective = sim.Optimal()
@@ -549,8 +645,8 @@ func (f *Framework) balance(window float64) (BalanceReport, error) {
 	rep.ReassignOps = sim.LastOps
 	rep.ReassignTime = float64(sim.LastOps) * f.Cfg.Model.MemOp
 
-	// Projected new loads under the mapping.
-	newLoads := make([]int64, f.Cfg.P)
+	// Projected new loads under the mapping, one slot per survivor.
+	newLoads := make([]int64, rep.Alive)
 	for v, p := range newPart {
 		newLoads[mp[p]] += f.G.Wcomp[v]
 	}
@@ -572,7 +668,7 @@ func (f *Framework) balance(window float64) (BalanceReport, error) {
 	rep.RemapExecTime = remapOps.Time(f.Cfg.Model)
 	rep.Gain = f.Cfg.Cost.Gain(rep.WmaxOld, rep.WmaxNew)
 	pipeline := rep.RepartitionTime + rep.ReassignTime + rep.RemapExecTime
-	rep.CostFull = redistCost(f.Cfg.Cost, f.Cfg.Model, f.D.Exchange, f.Cfg.P, rep.MoveC, rep.MoveN) + pipeline
+	rep.CostFull = redistCost(f.Cfg.Cost, f.Cfg.Model, f.D.Exchange, rep.Alive, rep.MoveC, rep.MoveN) + pipeline
 	if f.Cfg.Overlap {
 		// Latency tolerance: the CPU-side pipeline hides behind the
 		// solver iterations; only the exposed remainder delays the
@@ -594,7 +690,7 @@ func (f *Framework) balance(window float64) (BalanceReport, error) {
 	// Both produce byte-identical results up to PeakWords.
 	newOwner := make([]int32, len(newPart))
 	for v, p := range newPart {
-		newOwner[v] = mp[p]
+		newOwner[v] = alive[mp[p]]
 	}
 	var res par.RemapResult
 	var err error
@@ -605,22 +701,38 @@ func (f *Framework) balance(window float64) (BalanceReport, error) {
 	}
 	if err != nil {
 		var re *par.RemapError
-		if errors.As(err, &re) && re.RolledBack {
-			// Graceful degradation: the remap exhausted its recovery
-			// budget and restored the pre-balance ownership, so the cycle
-			// continues on the old partition. The new partitioning is
-			// discarded exactly like a cost-rejected one — no remap
-			// charge, the imbalance stays — and the failure is reported
-			// in the outcome, not as an error.
-			rep.Accepted = false
-			rep.ImbalanceAfter = rep.ImbalanceBefore
-			rep.FaultDetail = re.Error()
-			f.rollbackStreak++
-			rep.Outcome = OutcomeRolledBack
-			if f.rollbackStreak >= DegradedStreak {
-				rep.Outcome = OutcomeDegraded
+		if errors.As(err, &re) {
+			switch {
+			case re.Failure == par.FailCrash:
+				// Rank death: restore the cycle checkpoint and remap the
+				// dead ranks' elements onto the survivors. The run
+				// continues on fewer processors.
+				if rerr := f.recoverCrash(&rep, re); rerr != nil {
+					return rep, rerr
+				}
+				return rep, nil
+			case re.Failure == par.FailTimeout:
+				// A hung worker blew the stage deadline: the worker pool
+				// is torn mid-stage and there is no deterministic state to
+				// continue from. Surface the typed error.
+				return rep, err
+			case re.RolledBack:
+				// Graceful degradation: the remap exhausted its recovery
+				// budget and restored the pre-balance ownership, so the cycle
+				// continues on the old partition. The new partitioning is
+				// discarded exactly like a cost-rejected one — no remap
+				// charge, the imbalance stays — and the failure is reported
+				// in the outcome, not as an error.
+				rep.Accepted = false
+				rep.ImbalanceAfter = rep.ImbalanceBefore
+				rep.FaultDetail = re.Error()
+				f.rollbackStreak++
+				rep.Outcome = OutcomeRolledBack
+				if f.rollbackStreak >= DegradedStreak {
+					rep.Outcome = OutcomeDegraded
+				}
+				return rep, nil
 			}
-			return rep, nil
 		}
 		return rep, err
 	}
@@ -633,6 +745,91 @@ func (f *Framework) balance(window float64) (BalanceReport, error) {
 	rep.RemapSetups = res.Setups
 	rep.RemapSetupTime = res.SetupTime
 	return rep, nil
+}
+
+// compactOwners returns the owner array mapped into the compacted
+// survivor index space: alive[i] → i, dead ranks → −1 (no similarity
+// credit — see remap.Build). With every rank alive it returns the
+// owners unchanged.
+func (f *Framework) compactOwners(alive []int32) []int32 {
+	oldProc := f.D.Owners()
+	if len(alive) == f.Cfg.P {
+		return oldProc
+	}
+	compact := make([]int32, f.Cfg.P)
+	for i := range compact {
+		compact[i] = -1
+	}
+	for i, r := range alive {
+		compact[r] = int32(i)
+	}
+	for v, o := range oldProc {
+		oldProc[v] = compact[o]
+	}
+	return oldProc
+}
+
+// recoverCrash repairs a FailCrash rollback: restore the audited cycle
+// checkpoint, mark the dead ranks, and remap their elements onto the
+// survivors using the balancer's own machinery — the repartitioner
+// produces the survivor partition, the mapper minimizes movement
+// relative to the surviving owners (crashed-owned vertices carry no
+// similarity, so they move wherever they land), and the ordinary bulk
+// remap executor moves the records with its machine-model charges
+// intact (par.ExecuteRemapRecovery). Recovery itself runs fault-free: it
+// is the repair path, and re-drawing fates inside it could cascade
+// forever. The crash set, the survivor plan, and the executed ownership
+// are all pure functions of (plan, cycle, survivors), so the recovered
+// state is byte-identical at any worker count and across repeat runs.
+func (f *Framework) recoverCrash(rep *BalanceReport, re *par.RemapError) error {
+	rep.Accepted = false
+	rep.Outcome = OutcomeRecovered
+	rep.FaultDetail = re.Error()
+	rep.CrashedRanks = append([]int(nil), re.Crashed...)
+	// The executor already rolled its transaction back; the checkpoint
+	// restore is the audited path, and also recovers the outcome streak
+	// captured before the pass started.
+	if f.ck != nil {
+		if st, ok := f.ck.Restore(); ok {
+			f.D.SetOwners(st.Owners)
+			f.rollbackStreak = st.Streak
+		}
+	}
+	f.D.MarkDead(re.Crashed)
+	alive := f.D.Alive()
+	s := len(alive)
+	if s < 1 {
+		return fmt.Errorf("core: no surviving ranks after crash of %v", re.Crashed)
+	}
+	rep.Alive = s
+
+	newPart, _ := f.repartition(s * f.Cfg.F)
+	sim := remap.Build(f.compactOwners(alive), newPart, f.G.Wremap, s, f.Cfg.F)
+	var mp remap.Mapping
+	if f.Cfg.Mapper == MapperOptimal {
+		mp, _ = sim.Optimal()
+	} else {
+		mp, _ = sim.Heuristic()
+	}
+	if err := sim.Validate(mp); err != nil {
+		return err
+	}
+	newOwner := make([]int32, len(newPart))
+	for v, p := range newPart {
+		newOwner[v] = alive[mp[p]]
+	}
+	res, err := f.D.ExecuteRemapRecovery(newOwner, f.Cfg.Model)
+	if err != nil {
+		return fmt.Errorf("core: survivor recovery after crash of %v failed: %w", re.Crashed, err)
+	}
+	rep.Recovery = res
+	f.rollbackStreak = 0
+
+	// Report the post-recovery balance over the survivors.
+	loads := f.aliveLoads(alive)
+	rep.WmaxNew = slices.Max(loads)
+	rep.ImbalanceAfter = par.ImbalanceFactor(loads)
+	return nil
 }
 
 // redistCost is the acceptance rule's wire-redistribution term under the

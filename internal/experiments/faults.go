@@ -123,6 +123,8 @@ func shortOutcome(o core.BalanceOutcome) string {
 		return "ok"
 	case core.OutcomeRetriedCommitted:
 		return "retried"
+	case core.OutcomeRecovered:
+		return "RECOVERED"
 	case core.OutcomeRolledBack:
 		return "rollback"
 	case core.OutcomeDegraded:

@@ -1,0 +1,135 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"plum/internal/adapt"
+	"plum/internal/core"
+	"plum/internal/fault"
+	"plum/internal/geom"
+	"plum/internal/meshgen"
+)
+
+// crashRates is the rank-death probability sweep: the chance each alive
+// rank dies per balance cycle that reaches the remap stage.
+var crashRates = []float64{0, 0.05, 0.1, 0.2}
+
+// recoverCycles is the number of balance cycles each cell runs — enough
+// for multi-crash schedules to fire on distinct cycles.
+const recoverCycles = 4
+
+// RecoverRow is one cell of the crash-recovery sweep: how the cycles
+// concluded, which ranks died, and what the survivor remap and the cycle
+// checkpoints cost.
+type RecoverRow struct {
+	Rate  float64
+	Mixed bool // crash+drop rather than crash alone
+	// Outcomes is each cycle's conclusion, in order.
+	Outcomes []core.BalanceOutcome
+	// Crashed accumulates every rank death over the run, in cycle order;
+	// Alive is the number of surviving ranks at the end.
+	Crashed []int
+	Alive   int
+	// RecMoved and RecWords total the survivor-recovery remaps' element
+	// and payload traffic.
+	RecMoved, RecWords int64
+	// Captures, Restores, and DeltaWords summarize the cycle-checkpoint
+	// activity (DeltaWords is the copy-on-write patch volume; full
+	// clones are counted separately by the checkpoint but omitted here).
+	Captures, Restores int
+	DeltaWords         int64
+	// FinalImbalance is the load imbalance over the survivors after the
+	// last cycle.
+	FinalImbalance float64
+}
+
+// RecoverTable is the rank-crash recovery anatomy: how balance cycles
+// conclude as ranks die mid-remap, what the survivor remap moves, and
+// what the checkpoints cost, as the crash rate varies — alone and mixed
+// with message drops. Deterministic for a given seed at every worker
+// count.
+type RecoverTable struct {
+	Seed    int64
+	P       int
+	Workers int
+	Rows    []RecoverRow
+}
+
+// RunRecoverTable sweeps the crash rate over a corner-refined box
+// workload (P=8, four overlapped balance cycles per cell, streaming
+// remap) under the given crash seed, each rate once with crashes alone
+// and once mixed with message drops. Every figure is byte-identical at
+// every worker count and across repeated runs — crash fates are a pure
+// function of (seed, cycle, stage, rank).
+func RunRecoverTable(seed int64, workers int) *RecoverTable {
+	const p = 8
+	out := &RecoverTable{Seed: seed, P: p, Workers: workers}
+	for _, rate := range crashRates {
+		for _, mixed := range []bool{false, true} {
+			kinds := []fault.Kind{fault.Crash}
+			if mixed {
+				kinds = []fault.Kind{fault.Crash, fault.Drop}
+			}
+			cfg := core.DefaultConfig(p)
+			cfg.Workers = workers
+			cfg.Overlap = true // stream the remap: crashes hit the first window
+			cfg.Faults = &fault.Plan{Seed: seed, Rate: rate, Kinds: kinds}
+			cfg.Retry = fault.Budget(3)
+			f, err := core.New(meshgen.Box(8, 8, 8, geom.Vec3{X: 1, Y: 1, Z: 1}), nil, cfg)
+			if err != nil {
+				panic(err)
+			}
+			row := RecoverRow{Rate: rate, Mixed: mixed}
+			radius := 0.7
+			for c := 0; c < recoverCycles; c++ {
+				r := radius
+				rep, err := f.Cycle(func(a *adapt.Adaptor) {
+					a.MarkRegion(geom.Sphere{Center: geom.Vec3{}, Radius: r}, adapt.MarkRefine)
+				})
+				if err != nil {
+					panic(err)
+				}
+				radius *= 0.8
+				row.Outcomes = append(row.Outcomes, rep.Outcome)
+				row.Crashed = append(row.Crashed, rep.Balance.CrashedRanks...)
+				row.RecMoved += rep.Balance.Recovery.Moved
+				row.RecWords += rep.Balance.Recovery.WordsMoved
+				row.FinalImbalance = rep.Balance.ImbalanceAfter
+			}
+			st := f.CheckpointStats()
+			row.Captures, row.Restores, row.DeltaWords = st.Captures, st.Restores, st.DeltaWords
+			row.Alive = f.D.AliveCount()
+			out.Rows = append(out.Rows, row)
+		}
+	}
+	return out
+}
+
+// String renders the sweep.
+func (t *RecoverTable) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Rank-crash recovery: outcome sweep (seed %d, P=%d, %d cycles/cell, streaming remap)\n",
+		t.Seed, t.P, recoverCycles)
+	fmt.Fprintf(&b, "%6s%7s  %-40s%-14s%7s%9s%10s%7s%7s%9s%8s\n",
+		"rate", "kinds", "outcomes", "crashed", "alive", "rec mv", "rec wds",
+		"ckpt", "rst", "dlt wds", "imb")
+	for _, r := range t.Rows {
+		names := make([]string, len(r.Outcomes))
+		for i, o := range r.Outcomes {
+			names[i] = shortOutcome(o)
+		}
+		kinds := "crash"
+		if r.Mixed {
+			kinds = "c+drop"
+		}
+		crashed := "-"
+		if len(r.Crashed) > 0 {
+			crashed = strings.Trim(strings.Join(strings.Fields(fmt.Sprint(r.Crashed)), ","), "[]")
+		}
+		fmt.Fprintf(&b, "%6.2f%7s  %-40s%-14s%7d%9d%10d%7d%7d%9d%8.2f\n",
+			r.Rate, kinds, strings.Join(names, ","), crashed, r.Alive,
+			r.RecMoved, r.RecWords, r.Captures, r.Restores, r.DeltaWords, r.FinalImbalance)
+	}
+	return b.String()
+}

@@ -39,6 +39,11 @@ const (
 	// Stall delays the message: it is delivered intact, but the sender is
 	// charged one backoff unit of modeled time.
 	Stall
+	// Crash kills a whole modeled rank at a stage boundary. Unlike the
+	// four message kinds above, its fate is rank-scoped — keyed on
+	// (seed, cycle, stage, rank) via Crashed, not drawn per message —
+	// and recovery is a survivor remap, not a transport retry.
+	Crash
 )
 
 // String implements fmt.Stringer with the plan-syntax kind names.
@@ -54,13 +59,16 @@ func (k Kind) String() string {
 		return "dup"
 	case Stall:
 		return "stall"
+	case Crash:
+		return "crash"
 	}
 	return fmt.Sprintf("Kind(%d)", uint8(k))
 }
 
 // kindByName is the inverse of Kind.String for plan parsing.
 var kindByName = map[string]Kind{
-	"drop": Drop, "corrupt": Corrupt, "dup": Duplicate, "duplicate": Duplicate, "stall": Stall,
+	"drop": Drop, "corrupt": Corrupt, "dup": Duplicate, "duplicate": Duplicate,
+	"stall": Stall, "crash": Crash,
 }
 
 // Stage identifies the pipeline stage a fault key belongs to, so a plan
@@ -91,7 +99,9 @@ type Plan struct {
 	Kinds []Kind
 }
 
-// allKinds is the default kind set of a plan that names none.
+// allKinds is the default kind set of a plan that names none. Crash is
+// deliberately absent: rank deaths are opt-in (kinds=crash), so existing
+// plans keep their exact message-fate schedules.
 var allKinds = []Kind{Drop, Corrupt, Duplicate, Stall}
 
 // Validate reports whether the plan's fields are usable.
@@ -103,7 +113,7 @@ func (p *Plan) Validate() error {
 		return fmt.Errorf("fault: rate %g outside [0, 1]", p.Rate)
 	}
 	for _, k := range p.Kinds {
-		if k == None || k > Stall {
+		if k == None || k > Crash {
 			return fmt.Errorf("fault: invalid kind %d in plan", k)
 		}
 	}
@@ -126,6 +136,9 @@ func splitmix64(x uint64) uint64 {
 // attempt. The attempt index is the per-(cycle, stage, src, dst) count of
 // hook consultations, so retries of a faulted message see fresh draws and
 // a bounded retry loop terminates with probability 1 for any Rate < 1.
+// Crash entries in Kinds are skipped — rank deaths are drawn by Crashed,
+// never per message — so a plan whose Kinds hold only Crash injects no
+// transport faults at all.
 func (p *Plan) Fate(stage Stage, cycle, src, dst, attempt int) Kind {
 	if p == nil || p.Rate <= 0 {
 		return None
@@ -142,7 +155,61 @@ func (p *Plan) Fate(stage Stage, cycle, src, dst, attempt int) Kind {
 	if len(kinds) == 0 {
 		kinds = allKinds
 	}
-	return kinds[splitmix64(h)%uint64(len(kinds))]
+	n := 0
+	for _, k := range kinds {
+		if k != Crash {
+			n++
+		}
+	}
+	if n == 0 {
+		return None
+	}
+	i := int(splitmix64(h) % uint64(n))
+	for _, k := range kinds {
+		if k == Crash {
+			continue
+		}
+		if i == 0 {
+			return k
+		}
+		i--
+	}
+	return None // unreachable
+}
+
+// crashSalt decorrelates the rank-scoped crash draws from the
+// message-fate draws of the same seed, so enabling crashes never
+// perturbs which messages drop, corrupt, duplicate, or stall.
+const crashSalt = 0xc7a54ad5ea7bead5
+
+// CrashEnabled reports whether the plan can ever kill a rank: a positive
+// rate and Crash named in Kinds. Crash is never part of the default kind
+// set, so kinds-less plans keep ranks alive.
+func (p *Plan) CrashEnabled() bool {
+	if p == nil || p.Rate <= 0 {
+		return false
+	}
+	for _, k := range p.Kinds {
+		if k == Crash {
+			return true
+		}
+	}
+	return false
+}
+
+// Crashed reports whether the plan fates the given rank to die at the
+// (stage, cycle) boundary. Like Fate it is a pure hash — no state — so
+// the set of crashed ranks for a cycle is byte-reproducible at any
+// worker count; unlike Fate the key is rank-scoped, with no message or
+// attempt coordinates.
+func (p *Plan) Crashed(stage Stage, cycle, rank int) bool {
+	if !p.CrashEnabled() {
+		return false
+	}
+	key := uint64(cycle)<<24 ^ uint64(stage)<<20 ^ uint64(uint16(rank)) ^ crashSalt
+	h := splitmix64(uint64(p.Seed) ^ splitmix64(key))
+	u := float64(h>>11) / (1 << 53)
+	return u < p.Rate
 }
 
 // Hook returns the comm-layer transport hook with the stage and cycle

@@ -162,3 +162,111 @@ func TestExchangeModelBudgetExhaustion(t *testing.T) {
 		t.Error("nil ExchangeModel must be inert")
 	}
 }
+
+func TestCrashedDeterministicAndRankScoped(t *testing.T) {
+	p := &Plan{Seed: 7, Rate: 0.3, Kinds: []Kind{Crash}}
+	diffRank, diffCycle := false, false
+	for cycle := 0; cycle < 4; cycle++ {
+		for rank := 0; rank < 16; rank++ {
+			c1 := p.Crashed(StageRemap, cycle, rank)
+			if c1 != p.Crashed(StageRemap, cycle, rank) {
+				t.Fatalf("Crashed not deterministic at (%d,%d)", cycle, rank)
+			}
+			if rank > 0 && c1 != p.Crashed(StageRemap, cycle, 0) {
+				diffRank = true
+			}
+			if cycle > 0 && c1 != p.Crashed(StageRemap, 0, rank) {
+				diffCycle = true
+			}
+		}
+	}
+	if !diffRank || !diffCycle {
+		t.Errorf("crash fates not independent: rank diff %v, cycle diff %v", diffRank, diffCycle)
+	}
+}
+
+func TestCrashedRate(t *testing.T) {
+	for _, rate := range []float64{0, 0.1, 0.5, 1} {
+		p := &Plan{Seed: 42, Rate: rate, Kinds: []Kind{Crash}}
+		n, hits := 0, 0
+		for cycle := 0; cycle < 200; cycle++ {
+			for rank := 0; rank < 32; rank++ {
+				n++
+				if p.Crashed(StageRemap, cycle, rank) {
+					hits++
+				}
+			}
+		}
+		got := float64(hits) / float64(n)
+		if math.Abs(got-rate) > 0.02 {
+			t.Errorf("rate %g: empirical crash fraction %g", rate, got)
+		}
+	}
+}
+
+func TestCrashEnabledGating(t *testing.T) {
+	var nilP *Plan
+	cases := []struct {
+		p    *Plan
+		want bool
+	}{
+		{nilP, false},
+		{&Plan{Seed: 1, Rate: 0.5}, false},                                // default kinds exclude crash
+		{&Plan{Seed: 1, Rate: 0, Kinds: []Kind{Crash}}, false},            // zero rate
+		{&Plan{Seed: 1, Rate: 0.5, Kinds: []Kind{Drop}}, false},           // crash not named
+		{&Plan{Seed: 1, Rate: 0.5, Kinds: []Kind{Crash}}, true},
+		{&Plan{Seed: 1, Rate: 0.5, Kinds: []Kind{Drop, Crash}}, true},
+	}
+	for i, c := range cases {
+		if got := c.p.CrashEnabled(); got != c.want {
+			t.Errorf("case %d: CrashEnabled() = %v, want %v", i, got, c.want)
+		}
+	}
+	if !(&Plan{Seed: 1, Rate: 0.5, Kinds: []Kind{Crash}}).Enabled() {
+		t.Error("CrashEnabled plan must imply Enabled")
+	}
+	if (&Plan{Seed: 1, Rate: 0.5}).Crashed(StageRemap, 0, 0) {
+		t.Error("plan without the crash kind drew a crash fate")
+	}
+}
+
+func TestFateNeverReturnsCrash(t *testing.T) {
+	// Crash is rank-scoped, not message-scoped: even a crash-only plan
+	// must never emit it from the message-fate draw, and a mixed plan
+	// must draw its message kinds as if crash were absent.
+	only := &Plan{Seed: 5, Rate: 1, Kinds: []Kind{Crash}}
+	mixed := &Plan{Seed: 5, Rate: 1, Kinds: []Kind{Crash, Drop, Stall}}
+	ref := &Plan{Seed: 5, Rate: 1, Kinds: []Kind{Drop, Stall}}
+	for a := 0; a < 64; a++ {
+		if k := only.Fate(StageRemap, 0, 1, 2, a); k != None {
+			t.Fatalf("crash-only plan emitted message fate %v", k)
+		}
+		got, want := mixed.Fate(StageRemap, 0, 1, 2, a), ref.Fate(StageRemap, 0, 1, 2, a)
+		if got == Crash {
+			t.Fatalf("Fate returned Crash at attempt %d", a)
+		}
+		if got != want {
+			t.Fatalf("adding crash perturbed the message draw: got %v, want %v", got, want)
+		}
+	}
+}
+
+func TestParseCrashKind(t *testing.T) {
+	p, err := Parse("seed=3,rate=0.1,kinds=crash")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.CrashEnabled() || len(p.Kinds) != 1 || p.Kinds[0] != Crash {
+		t.Fatalf("parsed %+v", p)
+	}
+	q, err := Parse(p.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.String() != p.String() {
+		t.Errorf("round trip: %q vs %q", q.String(), p.String())
+	}
+	if _, err := Parse("seed=3,rate=0.1,kinds=drop+crash"); err != nil {
+		t.Errorf("mixed kinds with crash rejected: %v", err)
+	}
+}

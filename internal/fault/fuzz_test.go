@@ -1,0 +1,60 @@
+package fault
+
+import (
+	"reflect"
+	"testing"
+)
+
+// FuzzFaultPlanParse fuzzes the -faults grammar: any input must either be
+// rejected or produce a valid plan whose String() re-parses to a
+// semantically identical plan. Plans are compared structurally rather
+// than textually because Parse normalizes kind aliases ("duplicate"
+// renders back as "dup").
+func FuzzFaultPlanParse(f *testing.F) {
+	for _, seed := range []string{
+		"",
+		"seed=7,rate=0.05",
+		"seed=7,rate=0.05,kinds=drop+corrupt",
+		"seed=-3,rate=1,kinds=drop+corrupt+dup+stall",
+		"seed=1,rate=0.1,kinds=crash",
+		"seed=2,rate=0.2,kinds=drop+crash",
+		"seed=4,rate=0,kinds=duplicate",
+		"rate=2",
+		"seed=x",
+		"kinds=explode",
+		"seed=1,,rate=0.5",
+		"seed=1,rate=NaN",
+		"seed=1,rate=1e-300,kinds=stall",
+		" seed=1 , rate=0.5 , kinds= crash ",
+		"seed=9223372036854775807,rate=0.999999",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		p, err := Parse(s)
+		if err != nil {
+			return // rejected inputs need no further guarantees
+		}
+		if err := p.Validate(); err != nil {
+			t.Fatalf("Parse(%q) returned an invalid plan: %v", s, err)
+		}
+		if p == nil {
+			return // blank spec: faults disabled
+		}
+		q, err := Parse(p.String())
+		if err != nil {
+			t.Fatalf("String() of parsed %q is unparseable: %q: %v", s, p.String(), err)
+		}
+		if !reflect.DeepEqual(p, q) {
+			t.Fatalf("round trip of %q not stable: %+v vs %+v (via %q)", s, p, q, p.String())
+		}
+		if q.String() != p.String() {
+			t.Fatalf("String() not a fixed point for %q: %q vs %q", s, p.String(), q.String())
+		}
+		// The plan's fate machinery must be total on any parsed plan.
+		_ = p.Enabled()
+		_ = p.CrashEnabled()
+		_ = p.Fate(StageRemap, 0, 0, 1, 0)
+		_ = p.Crashed(StageRemap, 0, 0)
+	})
+}

@@ -18,6 +18,7 @@ package par
 import (
 	"fmt"
 	"slices"
+	"time"
 
 	"plum/internal/chunk"
 	"plum/internal/fault"
@@ -80,6 +81,19 @@ type Dist struct {
 	// each cycle of a run draws an independent fault schedule.
 	FaultCycle int
 
+	// StageDeadline arms comm.World.SetDeadline on every world the remap
+	// executors create: a stage whose ranks have not all finished within
+	// the deadline fails with a typed timeout instead of hanging the
+	// process. Zero disables the watchdog (the deterministic default —
+	// wall-clock deadlines are inherently timing-dependent).
+	StageDeadline time.Duration
+
+	// dead marks ranks lost to crash recovery; nil until the first crash.
+	// A dead rank owns no elements, sends no messages, and is excluded
+	// from every subsequent balance target. Ownership maps never name a
+	// dead rank once recovery completes.
+	dead []bool
+
 	// adaptX is the cycle's modeled fault model for the adaption
 	// notification exchanges, rebuilt when FaultCycle advances: refine and
 	// coarsen within one cycle continue the same per-pair attempt
@@ -130,6 +144,109 @@ func (d *Dist) rebuildRootIndex() {
 
 // Owners returns a copy of the per-dual-vertex owner array.
 func (d *Dist) Owners() []int32 { return append([]int32(nil), d.owner...) }
+
+// MarkDead records ranks lost to crash recovery. Dead ranks stay dead
+// for the rest of the run; marking an already-dead rank is a no-op.
+func (d *Dist) MarkDead(ranks []int) {
+	if len(ranks) == 0 {
+		return
+	}
+	if d.dead == nil {
+		d.dead = make([]bool, d.P)
+	}
+	for _, r := range ranks {
+		if r >= 0 && r < d.P {
+			d.dead[r] = true
+		}
+	}
+}
+
+// HasDead reports whether any rank has been lost.
+func (d *Dist) HasDead() bool {
+	for _, dd := range d.dead {
+		if dd {
+			return true
+		}
+	}
+	return false
+}
+
+// DeadRanks returns the lost ranks, sorted ascending (nil when none).
+func (d *Dist) DeadRanks() []int {
+	var out []int
+	for r, dd := range d.dead {
+		if dd {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// Alive returns the surviving ranks, sorted ascending. With no deaths it
+// is simply [0, P).
+func (d *Dist) Alive() []int32 {
+	out := make([]int32, 0, d.P)
+	for r := 0; r < d.P; r++ {
+		if d.dead == nil || !d.dead[r] {
+			out = append(out, int32(r))
+		}
+	}
+	return out
+}
+
+// AliveCount returns the number of surviving ranks.
+func (d *Dist) AliveCount() int {
+	n := d.P
+	for _, dd := range d.dead {
+		if dd {
+			n--
+		}
+	}
+	return n
+}
+
+// crashedRanks returns the alive ranks fated by the plan to die at the
+// remap boundary of the current fault cycle, sorted ascending — the
+// crash mask the executors inject. Pure function of (plan, cycle, alive
+// set): byte-identical at any worker count. Two guards keep the run
+// recoverable: no crashes are drawn with fewer than two survivors, and
+// if every survivor is fated at once, the lowest-ranked one is spared
+// (a total loss has no survivor to recover onto).
+func (d *Dist) crashedRanks() []int {
+	if !d.Faults.CrashEnabled() {
+		return nil
+	}
+	alive := d.Alive()
+	if len(alive) < 2 {
+		return nil
+	}
+	var out []int
+	for _, r := range alive {
+		if d.Faults.Crashed(fault.StageRemap, d.FaultCycle, int(r)) {
+			out = append(out, int(r))
+		}
+	}
+	if len(out) == len(alive) {
+		out = out[1:]
+	}
+	if len(out) == 0 {
+		return nil
+	}
+	return out
+}
+
+// crashMask expands crashed (sorted rank list) into a per-rank bool
+// mask, or nil when there are no crashes.
+func (d *Dist) crashMask(crashed []int) []bool {
+	if len(crashed) == 0 {
+		return nil
+	}
+	mask := make([]bool, d.P)
+	for _, r := range crashed {
+		mask[r] = true
+	}
+	return mask
+}
 
 // SetOwners replaces the ownership map (after a remap decision).
 func (d *Dist) SetOwners(o []int32) {

@@ -71,18 +71,31 @@ func (pl *winPlan) want(f int) int64 {
 // budget are counted into failCount[rank] instead of delivered, and the
 // caller decides whether to retry the window; on the plain path failCount
 // may be nil and any missing or mismatched flow panics (the transport
-// cannot lose data, so it would be a bug). The returned error is a rank
-// panic aggregated by comm.World.Run.
-func exchangeWindow(w *comm.World, x machine.Exchange, topo machine.Topology, pl *winPlan, reliable bool, recv, failCount []int64) error {
+// cannot lose data, so it would be a bug). A non-nil crash mask kills the
+// marked ranks at the window boundary — before they send or receive a
+// word — modeling a processor death detected by its peers mid-stage; Run
+// reports it as a *comm.CrashError. The returned error is a rank panic
+// aggregated by comm.World.Run.
+func exchangeWindow(w *comm.World, x machine.Exchange, topo machine.Topology, pl *winPlan, reliable bool, recv, failCount []int64, crash []bool) error {
+	var body func(c *comm.Comm)
 	switch x {
 	case machine.ExchangeAggregated:
-		return w.Run(func(c *comm.Comm) { exchangeAggregated(c, pl, reliable, recv, failCount) })
+		body = func(c *comm.Comm) { exchangeAggregated(c, pl, reliable, recv, failCount) }
 	case machine.ExchangeHierarchical:
 		info := buildHierInfo(pl, topo)
-		return w.Run(func(c *comm.Comm) { exchangeHierarchical(c, topo, pl, info, reliable, recv, failCount) })
+		body = func(c *comm.Comm) { exchangeHierarchical(c, topo, pl, info, reliable, recv, failCount) }
 	default:
-		return w.Run(func(c *comm.Comm) { exchangeFlat(c, pl, reliable, recv, failCount) })
+		body = func(c *comm.Comm) { exchangeFlat(c, pl, reliable, recv, failCount) }
 	}
+	if crash == nil {
+		return w.Run(body)
+	}
+	return w.Run(func(c *comm.Comm) {
+		if crash[c.Rank()] {
+			c.Crash()
+		}
+		body(c)
+	})
 }
 
 // exchangeFlat is the legacy schedule: every rank contributes one

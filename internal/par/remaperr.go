@@ -1,6 +1,11 @@
 package par
 
-import "fmt"
+import (
+	"errors"
+	"fmt"
+
+	"plum/internal/comm"
+)
 
 // RemapFailure classifies why a remap (or finalize) transaction failed.
 type RemapFailure int
@@ -24,6 +29,15 @@ const (
 	// FailGather: the finalization gather saw a torn record, an
 	// out-of-range element id, or an element gathered twice.
 	FailGather
+	// FailCrash: one or more ranks died mid-exchange under an injected
+	// crash fate (comm.CrashError); ownership was rolled back and the
+	// Crashed list names the dead ranks so the caller can run survivor
+	// recovery.
+	FailCrash
+	// FailTimeout: the stage deadline expired with a rank hung outside
+	// the communication layer (comm.TimeoutError). The worker pool is
+	// torn; this is not retried and not recovered.
+	FailTimeout
 )
 
 // String names the failure class.
@@ -37,6 +51,10 @@ func (f RemapFailure) String() string {
 		return "rank-failure"
 	case FailGather:
 		return "gather"
+	case FailCrash:
+		return "rank-crash"
+	case FailTimeout:
+		return "stage-timeout"
 	}
 	return fmt.Sprintf("RemapFailure(%d)", int(f))
 }
@@ -57,6 +75,9 @@ type RemapError struct {
 	// pre-remap state (always true for FailTransfer; structural failures
 	// before any window committed also roll back trivially).
 	RolledBack bool
+	// Crashed names the ranks that died when Failure is FailCrash
+	// (sorted ascending); nil otherwise.
+	Crashed []int
 	// Detail is the underlying diagnostic.
 	Detail string
 }
@@ -86,3 +107,21 @@ func (e *RemapError) Error() string {
 // retries (transport-level transfer failures, as opposed to structural
 // corruption).
 func (e *RemapError) Retryable() bool { return e.Failure == FailTransfer }
+
+// remapErrFrom classifies a comm.World.Run error into a rolled-back
+// RemapError: modeled rank deaths become FailCrash carrying the dead
+// ranks (so core can run survivor recovery), blown stage deadlines
+// become FailTimeout, and everything else — genuine rank panics — stays
+// the structural FailRank.
+func remapErrFrom(err error, window, tries int) *RemapError {
+	var ce *comm.CrashError
+	if errors.As(err, &ce) {
+		return &RemapError{Failure: FailCrash, Window: window, Tries: tries, RolledBack: true,
+			Crashed: ce.Ranks, Detail: err.Error()}
+	}
+	var te *comm.TimeoutError
+	if errors.As(err, &te) {
+		return &RemapError{Failure: FailTimeout, Window: window, Tries: tries, RolledBack: true, Detail: err.Error()}
+	}
+	return &RemapError{Failure: FailRank, Window: window, Tries: tries, RolledBack: true, Detail: err.Error()}
+}

@@ -120,9 +120,10 @@ func (d *Dist) ExecuteRemap(newOwner []int32, mdl machine.Model) (RemapResult, e
 	plan := &winPlan{f0: 0, f1: p * p, p: p, flowStart: pl.flowStart, rec: pl.flowRecs}
 	if !d.Faults.Enabled() {
 		w := comm.NewWorld(p)
+		w.SetDeadline(d.StageDeadline)
 		recvCount := make([]int64, p)
-		if err := exchangeWindow(w, d.Exchange, mdl.Topo, plan, false, recvCount, nil); err != nil {
-			return RemapResult{}, &RemapError{Failure: FailRank, Window: -1, Tries: 1, RolledBack: true, Detail: err.Error()}
+		if err := exchangeWindow(w, d.Exchange, mdl.Topo, plan, false, recvCount, nil, nil); err != nil {
+			return RemapResult{}, remapErrFrom(err, -1, 1)
 		}
 		var recvTotal int64
 		for _, n := range recvCount {
@@ -137,9 +138,15 @@ func (d *Dist) ExecuteRemap(newOwner []int32, mdl machine.Model) (RemapResult, e
 		return res, nil
 	}
 
-	// Transactional path: the whole exchange is one window.
+	// Transactional path: the whole exchange is one window. Crash fates
+	// are drawn once per stage — the mask kills its ranks at the window
+	// boundary of the first try; a crash aborts the transaction without
+	// retries (there is no rank to retry with), and the caller recovers
+	// by remapping onto the survivors.
 	retry := d.Retry.Normalize()
+	crash := d.crashMask(d.crashedRanks())
 	w := comm.NewWorld(p)
+	w.SetDeadline(d.StageDeadline)
 	w.SetFaults(d.Faults.Hook(fault.StageRemap, d.FaultCycle), retry.MsgAttempts)
 	var recvTotal int64
 	tries := 0
@@ -147,8 +154,8 @@ func (d *Dist) ExecuteRemap(newOwner []int32, mdl machine.Model) (RemapResult, e
 		tries++
 		recvCount := make([]int64, p)
 		failCount := make([]int64, p)
-		if err := exchangeWindow(w, d.Exchange, mdl.Topo, plan, true, recvCount, failCount); err != nil {
-			return RemapResult{}, &RemapError{Failure: FailRank, Window: -1, Tries: tries, RolledBack: true, Detail: err.Error()}
+		if err := exchangeWindow(w, d.Exchange, mdl.Topo, plan, true, recvCount, failCount, crash); err != nil {
+			return RemapResult{}, remapErrFrom(err, -1, tries)
 		}
 		var nfail int64
 		for _, f := range failCount {
@@ -178,6 +185,25 @@ func (d *Dist) ExecuteRemap(newOwner []int32, mdl machine.Model) (RemapResult, e
 	d.accountRemap(pl.flowStart, mdl, &res, &retryCharges{resends: resends, backoff: backoff})
 	copy(d.owner, newOwner)
 	return res, nil
+}
+
+// ExecuteRemapRecovery migrates the elements of crashed ranks onto the
+// survivors after a FailCrash rollback: the same bulk exchange as
+// ExecuteRemap — same canonical flow layout, same machine-model charges
+// via accountRemap/ChargeFlows — run with the fault plan masked off.
+// Recovery is the repair path, not another fault surface: letting the
+// plan re-draw crash or message fates here could cascade a recovery into
+// another rollback forever, so the modeled recovery runs clean. The dead
+// ranks' outgoing flows model the survivors replaying those elements
+// from the cycle checkpoint's replica (in process, the dead rank's
+// goroutine serves its checkpointed records); their cost is charged like
+// any other flow, which is exactly the modeled price of re-sourcing the
+// lost subgrid.
+func (d *Dist) ExecuteRemapRecovery(newOwner []int32, mdl machine.Model) (RemapResult, error) {
+	saved := d.Faults
+	d.Faults = nil
+	defer func() { d.Faults = saved }()
+	return d.ExecuteRemap(newOwner, mdl)
 }
 
 // retryCharges carries the per-(src,dst) recovery counters of one reliable

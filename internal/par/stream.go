@@ -125,8 +125,14 @@ func (d *Dist) ExecuteRemapStreaming(newOwner []int32, mdl machine.Model) (Remap
 	// slot and the Runs are sequential, so there is no contention.
 	wins := planWindows(fi.flowStart, windowBudget(fi.flowStart, d.RemapWindow))
 	w := comm.NewWorld(p)
+	w.SetDeadline(d.StageDeadline)
+	var crash []bool
 	if faulty {
 		w.SetFaults(d.Faults.Hook(fault.StageRemap, d.FaultCycle), retry.MsgAttempts)
+		// Crash fates are stage-scoped, drawn once per balance cycle: the
+		// fated ranks die at the first window's boundary, before anything
+		// has committed, and the whole stream rolls back.
+		crash = d.crashMask(d.crashedRanks())
 	}
 	recvCount := make([]int64, p)
 	var buf []int64
@@ -151,21 +157,27 @@ func (d *Dist) ExecuteRemapStreaming(newOwner []int32, mdl machine.Model) (Remap
 		}
 		plan := &winPlan{f0: win.f0, f1: win.f1, p: p, flowStart: fi.flowStart, rec: rec}
 		if !faulty {
-			if err := exchangeWindow(w, d.Exchange, mdl.Topo, plan, false, recvCount, nil); err != nil {
-				return RemapResult{}, &RemapError{Failure: FailRank, Window: wi, Tries: 1, RolledBack: true, Detail: err.Error()}
+			if err := exchangeWindow(w, d.Exchange, mdl.Topo, plan, false, recvCount, nil, nil); err != nil {
+				return RemapResult{}, remapErrFrom(err, wi, 1)
 			}
 			continue
 		}
 
 		// Transactional window: exchange over the reliable path, retry on
-		// failed transfers, commit ownership on success.
+		// failed transfers, commit ownership on success. Only the first
+		// window carries the crash mask — a crash poisons the world and
+		// aborts the stream, so later windows never run.
+		winCrash := crash
+		if wi > 0 {
+			winCrash = nil
+		}
 		tries := 0
 		for {
 			tries++
 			winRecv := make([]int64, p)
 			failCount := make([]int64, p)
-			if err := exchangeWindow(w, d.Exchange, mdl.Topo, plan, true, winRecv, failCount); err != nil {
-				return rollback(&RemapError{Failure: FailRank, Window: wi, Tries: tries, RolledBack: true, Detail: err.Error()})
+			if err := exchangeWindow(w, d.Exchange, mdl.Topo, plan, true, winRecv, failCount, winCrash); err != nil {
+				return rollback(remapErrFrom(err, wi, tries))
 			}
 			var nfail int64
 			for _, f := range failCount {

@@ -38,10 +38,16 @@ func NewSimilarity(p, f int) *Similarity {
 // Build constructs the similarity matrix from the old processor assignment
 // and the new partitioning of the dual graph. oldProc[v] is the processor
 // currently holding dual vertex v; newPart[v] is the new partition of v;
-// wremap[v] is its redistribution weight.
+// wremap[v] is its redistribution weight. A negative oldProc[v] marks a
+// vertex with no surviving holder (its rank crashed): it contributes no
+// similarity to any processor, so the mapper treats it as guaranteed
+// movement wherever it lands.
 func Build(oldProc, newPart []int32, wremap []int64, p, f int) *Similarity {
 	s := NewSimilarity(p, f)
 	for v := range oldProc {
+		if oldProc[v] < 0 {
+			continue
+		}
 		s.S[oldProc[v]][newPart[v]] += wremap[v]
 	}
 	return s
