@@ -3,8 +3,12 @@
 // JSON, so successive PRs can track the perf trajectory without parsing
 // `go test -bench` text.
 //
-//	go run ./cmd/benchjson                  # writes BENCH_{sfc,adapt,cycle,refine,remap}.json
+//	go run ./cmd/benchjson                  # writes BENCH_{sfc,adapt,cycle,comm,refine,remap}.json
 //	go run ./cmd/benchjson -out - -k 32     # SFC JSON to stdout, k=32 cuts
+//
+// Alongside the per-suite files, a merged BENCH_all.json keyed by suite
+// name collects every report the invocation produced (an empty -allout
+// skips it).
 //
 // Every exhibit is run at workers=1 (the serial baseline) and, when the
 // host has more than one CPU, workers=GOMAXPROCS; the derived speedup
@@ -96,8 +100,15 @@ func measure(rep *Report, exhibits []exhibit, workerCounts []int) {
 	}
 }
 
-// write emits the report to path ('-' for stdout).
-func write(rep *Report, path string) {
+// suites collects every written report, keyed by suite name, for the
+// merged BENCH_all.json — one file downstream tooling can ingest
+// without knowing which per-suite outputs a given invocation produced.
+var suites = map[string]*Report{}
+
+// write records the report under its suite key and emits it to path
+// ('-' for stdout).
+func write(rep *Report, suite, path string) {
+	suites[suite] = rep
 	enc, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		log.Fatal(err)
@@ -113,6 +124,23 @@ func write(rep *Report, path string) {
 	log.Printf("wrote %s", path)
 }
 
+// writeAll emits the merged suite map (empty path = skip). Called on every
+// exit path of main, so the merged file reflects exactly the suites
+// this invocation ran.
+func writeAll(path string) {
+	if path == "" {
+		return
+	}
+	enc, err := json.MarshalIndent(suites, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := os.WriteFile(path, append(enc, '\n'), 0o644); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("wrote %s (%d suites)", path, len(suites))
+}
+
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("benchjson: ")
@@ -122,8 +150,10 @@ func main() {
 	adaptOut := flag.String("adaptout", "BENCH_adapt.json", "adaption engine output path ('-' for stdout, '' to skip)")
 	cycleOut := flag.String("cycleout", "BENCH_cycle.json", "overlapped-cycle output path ('-' for stdout, '' to skip)")
 	commOut := flag.String("commout", "BENCH_comm.json", "exchange-schedule output path ('-' for stdout, '' to skip)")
+	allOut := flag.String("allout", "BENCH_all.json", "merged all-suite output path, keyed by suite ('' to skip)")
 	k := flag.Int("k", 16, "partition count for the cut and refinement benches")
 	flag.Parse()
+	defer writeAll(*allOut)
 
 	m := experiments.BaseMesh()
 	g := dual.Build(m)
@@ -189,7 +219,7 @@ func main() {
 			}
 		}},
 	}, workerCounts)
-	write(&sfcRep, *out)
+	write(&sfcRep, "sfc", *out)
 
 	if *adaptOut != "" {
 		runAdapt(newReport, workerCounts, *adaptOut)
@@ -246,7 +276,7 @@ func main() {
 			}
 		}},
 	}, workerCounts)
-	write(&refineRep, *refineOut)
+	write(&refineRep, "refine", *refineOut)
 
 	if *remapOut != "" {
 		runRemap(newReport, m, raw, *k, workerCounts, *remapOut)
@@ -319,7 +349,7 @@ func runCycle(newReport func() Report, workerCounts []int, path string) {
 		"remap_peak_words":  float64(bal.RemapPeakWords),
 		"remap_total_words": float64(bal.Remap.Moved * par.RecordWords),
 	}
-	write(&rep, path)
+	write(&rep, "cycle", path)
 }
 
 // runAdapt measures the parallel adaption engine: one full ParallelRefine
@@ -353,7 +383,7 @@ func runAdapt(newReport func() Report, workerCounts []int, path string) {
 		}})
 	}
 	measure(&rep, exhibits, workerCounts)
-	write(&rep, path)
+	write(&rep, "adapt", path)
 }
 
 // runComm measures the exchange-schedule layer: one full ExecuteRemap per
@@ -407,7 +437,7 @@ func runComm(newReport func() Report, workerCounts []int, path string) {
 		rep.Modeled[key+"/setup_s"] = r.SetupTime
 		rep.Modeled[key+"/comm_s"] = r.CommTime
 	}
-	write(&rep, path)
+	write(&rep, "comm", path)
 }
 
 // runRemap measures the remap-execution subsystem: the full ExecuteRemap
@@ -453,5 +483,5 @@ func runRemap(newReport func() Report, m *mesh.Mesh, raw partition.Assignment, k
 			}
 		}},
 	}, workerCounts)
-	write(&rep, path)
+	write(&rep, "remap", path)
 }

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -14,8 +15,10 @@ import (
 )
 
 import (
+	"plum/internal/core"
 	"plum/internal/experiments"
 	"plum/internal/machine"
+	"plum/internal/obs"
 	"plum/internal/propagate"
 	"plum/internal/refine"
 )
@@ -29,7 +32,15 @@ func main() {
 	propg := flag.String("propagator", "", "frontier-propagation backend for -exp adapt: "+strings.Join(propagate.Names, ", ")+" ('' = bulksync)")
 	exchange := flag.String("exchange", "", "remap exchange schedule for -exp comm: "+strings.Join(machine.ExchangeNames, ", ")+" ('' = sweep all)")
 	nodesize := flag.Int("nodesize", 0, "ranks per node for -exp comm (0 = sweep the default axis)")
+	jsonOut := flag.Bool("json", false, "emit the selected experiments as one JSON object keyed by name instead of text tables")
+	traceF := flag.String("trace", "", "write a combined deterministic trace of the cycle-driving experiments (faults, recover, overlap) to this file")
+	traceFm := flag.String("trace-format", "perfetto", "trace export format: perfetto or jsonl")
+	metricF := flag.String("metrics", "", "write a Prometheus text-format metrics dump of the cycle-driving experiments to this file")
 	flag.Parse()
+	if *traceFm != "perfetto" && *traceFm != "jsonl" {
+		fmt.Fprintf(os.Stderr, "unknown -trace-format %q (have perfetto, jsonl)\n", *traceFm)
+		os.Exit(2)
+	}
 	if *k < 1 {
 		fmt.Fprintf(os.Stderr, "invalid -k %d: need at least 1 partition\n", *k)
 		os.Exit(2)
@@ -71,7 +82,21 @@ func main() {
 		{"comm", func() fmt.Stringer { return experiments.RunCommTable(*exchange, *nodesize) }},
 	}
 
+	// The observability sinks: the cycle-driving runners (faults, recover,
+	// overlap) attach them to every framework they build.
+	var tr *obs.Trace
+	var reg *obs.Registry
+	if *traceF != "" {
+		tr = obs.NewTrace()
+	}
+	if *metricF != "" {
+		reg = obs.NewRegistry()
+		core.RegisterHelp(reg)
+	}
+	experiments.SetObs(tr, reg)
+
 	ran := false
+	results := map[string]any{}
 	for _, r := range runners {
 		if *exp != "all" && *exp != r.name {
 			continue
@@ -79,6 +104,13 @@ func main() {
 		ran = true
 		t0 := time.Now()
 		out := r.run()
+		if *jsonOut {
+			// One object keyed by experiment name; the rows are the same
+			// structs the text tables render.
+			results[r.name] = out
+			fmt.Fprintf(os.Stderr, "[%s regenerated in %v]\n", r.name, time.Since(t0).Round(time.Millisecond))
+			continue
+		}
 		fmt.Println(out)
 		fmt.Printf("[%s regenerated in %v]\n\n", r.name, time.Since(t0).Round(time.Millisecond))
 	}
@@ -86,4 +118,45 @@ func main() {
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
 		os.Exit(2)
 	}
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(results); err != nil {
+			fmt.Fprintf(os.Stderr, "json: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	if tr != nil {
+		if err := writeObsFile(*traceF, func(w *os.File) error {
+			if *traceFm == "jsonl" {
+				return obs.WriteJSONL(w, tr)
+			}
+			return obs.WritePerfetto(w, tr)
+		}); err != nil {
+			fmt.Fprintf(os.Stderr, "trace: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	if reg != nil {
+		if err := writeObsFile(*metricF, func(w *os.File) error {
+			return obs.WritePrometheus(w, reg)
+		}); err != nil {
+			fmt.Fprintf(os.Stderr, "metrics: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// writeObsFile creates path and streams one export into it, reporting
+// create, write, and close errors alike.
+func writeObsFile(path string, write func(*os.File) error) error {
+	fh, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(fh); err != nil {
+		fh.Close()
+		return err
+	}
+	return fh.Close()
 }

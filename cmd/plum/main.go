@@ -9,10 +9,13 @@
 package main
 
 import (
+	_ "expvar" // /debug/vars on the -pprof server
 	"flag"
 	"fmt"
 	"log"
 	"math"
+	"net/http"
+	_ "net/http/pprof" // /debug/pprof on the -pprof server
 	"os"
 
 	"plum/internal/adapt"
@@ -22,6 +25,7 @@ import (
 	"plum/internal/geom"
 	"plum/internal/machine"
 	"plum/internal/meshgen"
+	"plum/internal/obs"
 	"plum/internal/par"
 	"plum/internal/partition"
 	"plum/internal/propagate"
@@ -54,8 +58,18 @@ func main() {
 		deadln  = flag.Duration("deadline", 0, "wall-clock watchdog per comm stage; a stage that exceeds it aborts with a timeout error (0 = no watchdog)")
 		scale   = flag.Float64("scale", 1.0, "mesh scale factor (1.0 = paper's 61k elements)")
 		verbose = flag.Bool("v", false, "print adaption phase breakdowns")
+		traceF  = flag.String("trace", "", "write the run's deterministic per-stage trace to this file (byte-identical at any -workers)")
+		traceFm = flag.String("trace-format", "perfetto", "trace export format: perfetto (Chrome/Perfetto trace-event JSON) or jsonl")
+		metricF = flag.String("metrics", "", "write a Prometheus text-format metrics dump to this file")
+		pprofA  = flag.String("pprof", "", "serve net/http/pprof and expvar on this address (e.g. localhost:6060)")
 	)
 	flag.Parse()
+	if *traceFm != "perfetto" && *traceFm != "jsonl" {
+		log.Fatalf("unknown -trace-format %q (have perfetto, jsonl)", *traceFm)
+	}
+	if *pprofA != "" {
+		go func() { log.Printf("pprof server: %v", http.ListenAndServe(*pprofA, nil)) }()
+	}
 
 	cfg := core.DefaultConfig(*p)
 	cfg.F = *f
@@ -104,6 +118,46 @@ func main() {
 	}
 	cfg.Checkpoint = *ckpt
 	cfg.StageDeadline = *deadln
+
+	// The observability hooks. Both stay nil (and cost nothing) unless
+	// asked for; flushObs writes them out on every exit path, so degraded
+	// runs still leave a trace behind — that is when it matters most.
+	var tr *obs.Trace
+	var reg *obs.Registry
+	if *traceF != "" {
+		tr = obs.NewTrace()
+		cfg.Trace = tr
+	}
+	if *metricF != "" {
+		reg = obs.NewRegistry()
+		core.RegisterHelp(reg)
+		cfg.Metrics = reg
+	}
+	flushObs := func() {
+		if tr != nil {
+			if err := writeObsFile(*traceF, func(w *os.File) error {
+				if *traceFm == "jsonl" {
+					return obs.WriteJSONL(w, tr)
+				}
+				return obs.WritePerfetto(w, tr)
+			}); err != nil {
+				log.Printf("trace: %v", err)
+			}
+		}
+		if reg != nil {
+			if err := writeObsFile(*metricF, func(w *os.File) error {
+				return obs.WritePrometheus(w, reg)
+			}); err != nil {
+				log.Printf("metrics: %v", err)
+			}
+		}
+	}
+	// notify routes the run's stderr one-liners through the trace event
+	// stream as well — same text, same destination, same exit codes.
+	notify := func(level, msg string) {
+		tr.Event(level, msg)
+		fmt.Fprintln(os.Stderr, msg)
+	}
 
 	rp := meshgen.DefaultRotor()
 	if *scale != 1.0 {
@@ -193,8 +247,9 @@ func main() {
 		}
 		fmt.Printf(" outcome=%s\n", rep.Outcome)
 		if rep.Outcome == core.OutcomeDegraded {
-			fmt.Fprintf(os.Stderr, "plum: degraded at cycle %d: %d consecutive balance rollbacks under plan %q: %s\n",
-				c, core.DegradedStreak, plan, b.FaultDetail)
+			notify("error", fmt.Sprintf("plum: degraded at cycle %d: %d consecutive balance rollbacks under plan %q: %s",
+				c, core.DegradedStreak, plan, b.FaultDetail))
+			flushObs()
 			os.Exit(1)
 		}
 		if *verbose {
@@ -226,16 +281,32 @@ func main() {
 		}
 	}
 	if err := m.Check(); err != nil {
-		fmt.Fprintf(os.Stderr, "FINAL MESH INVALID: %v\n", err)
+		notify("error", fmt.Sprintf("FINAL MESH INVALID: %v", err))
+		flushObs()
 		os.Exit(1)
 	}
 	if len(crashed) > 0 {
 		// Rank deaths the run survived are a success, not a failure: the
 		// note records the reduced capacity, and the exit stays 0.
-		fmt.Fprintf(os.Stderr, "plum: recovered from crashes of ranks %v: %d of %d ranks remain\n",
-			crashed, fw.D.AliveCount(), cfg.P)
+		notify("warn", fmt.Sprintf("plum: recovered from crashes of ranks %v: %d of %d ranks remain",
+			crashed, fw.D.AliveCount(), cfg.P))
 	}
 	fmt.Printf("final mesh valid: %s\n", m.Stats())
+	flushObs()
+}
+
+// writeObsFile creates path and streams one export into it, reporting
+// create, write, and close errors alike.
+func writeObsFile(path string, write func(*os.File) error) error {
+	fh, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(fh); err != nil {
+		fh.Close()
+		return err
+	}
+	return fh.Close()
 }
 
 func maxInt(a, b int) int {

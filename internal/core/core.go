@@ -21,6 +21,7 @@ import (
 	"plum/internal/geom"
 	"plum/internal/machine"
 	"plum/internal/mesh"
+	"plum/internal/obs"
 	"plum/internal/par"
 	"plum/internal/partition"
 	"plum/internal/propagate"
@@ -156,6 +157,21 @@ type Config struct {
 	// deadlines are inherently timing-dependent, so determinism-sensitive
 	// runs leave this off. Negative is rejected by New.
 	StageDeadline time.Duration
+	// Trace, when non-nil, records per-stage spans and events on the
+	// modeled timeline as the cycles run — solver, adaption phases,
+	// repartition, reassignment, remap execution with per-rank
+	// send/rebuild tracks, fault retries, checkpoints, crash recovery.
+	// Only worker-invariant quantities are recorded, so exports are
+	// byte-identical at every worker count. nil (the default) disables
+	// tracing at the cost of one pointer compare per stage — zero
+	// allocations on the cycle hot path. Not safe for concurrent
+	// Frameworks; give each its own Trace.
+	Trace *obs.Trace
+	// Metrics, when non-nil, accumulates framework counters and gauges
+	// (cycles, outcomes, ops, moved elements, retries, checkpoint words,
+	// imbalance) after each completed cycle, for Prometheus text dumps.
+	// Same determinism and nil-cost contract as Trace.
+	Metrics *obs.Registry
 }
 
 // DefaultConfig returns the configuration used throughout the experiments:
@@ -340,6 +356,7 @@ func New(m *mesh.Mesh, sol *solver.Solver, cfg Config) (*Framework, error) {
 	d.Faults = cfg.Faults   // fault plan + recovery budget for the balance cycles
 	d.Retry = cfg.Retry
 	d.StageDeadline = cfg.StageDeadline
+	d.Trace = cfg.Trace // per-rank remap spans + streaming window events
 	fw := &Framework{
 		Cfg: cfg,
 		M:   m,
@@ -602,6 +619,7 @@ func (f *Framework) balance(window float64) (BalanceReport, error) {
 	if f.ck != nil {
 		f.ck.Capture(ckpt.State{Cycle: f.D.FaultCycle, Streak: f.rollbackStreak,
 			Owners: f.D.Owners(), Weights: f.G.Wcomp})
+		traceCkptCapture(f.Cfg.Trace, f.D.FaultCycle)
 	}
 	// All balance targets are the surviving ranks: after a crash the run
 	// continues on fewer processors, and dead ranks must never appear in
@@ -615,8 +633,10 @@ func (f *Framework) balance(window float64) (BalanceReport, error) {
 	rep.ImbalanceAfter = rep.ImbalanceBefore
 	rep.WmaxOld = slices.Max(loads)
 	if rep.ImbalanceBefore <= f.Cfg.ImbalanceThreshold {
+		traceEvaluate(f.Cfg.Trace, rep.ImbalanceBefore, false)
 		return rep, nil
 	}
+	traceEvaluate(f.Cfg.Trace, rep.ImbalanceBefore, true)
 	rep.Repartitioned = true
 
 	// Repartition the dual graph into S·F parts over the S survivors.
@@ -629,6 +649,7 @@ func (f *Framework) balance(window float64) (BalanceReport, error) {
 	rep.RepartitionCompTime = float64(partOps.Crit-partOps.MemCrit) * f.Cfg.Model.CompOp
 	rep.RepartitionMemTime = float64(partOps.MemCrit) * f.Cfg.Model.MemOp
 	rep.RepartitionTime = rep.RepartitionCompTime + rep.RepartitionMemTime
+	traceRepartition(f.Cfg.Trace, f.Cfg.Model, partOps, nParts)
 
 	// Similarity matrix + processor reassignment, in the compacted
 	// survivor index space (identity when every rank is alive).
@@ -644,6 +665,7 @@ func (f *Framework) balance(window float64) (BalanceReport, error) {
 	}
 	rep.ReassignOps = sim.LastOps
 	rep.ReassignTime = float64(sim.LastOps) * f.Cfg.Model.MemOp
+	traceReassign(f.Cfg.Trace, sim.LastOps, rep.ReassignTime, rep.Objective)
 
 	// Projected new loads under the mapping, one slot per survivor.
 	newLoads := make([]int64, rep.Alive)
@@ -680,9 +702,11 @@ func (f *Framework) balance(window float64) (BalanceReport, error) {
 	// reported quantities, so the report can never drift from the decision.
 	if rep.Gain <= rep.Cost {
 		rep.ImbalanceAfter = rep.ImbalanceBefore // discarded
+		traceDecision(f.Cfg.Trace, rep.Gain, rep.MoveC, rep.MoveN, false)
 		return rep, nil
 	}
 	rep.Accepted = true
+	traceDecision(f.Cfg.Trace, rep.Gain, rep.MoveC, rep.MoveN, true)
 
 	// Execute the remap: ownership follows the accepted mapping. The
 	// overlapped cycle streams the payload one flow window at a time;
@@ -731,6 +755,7 @@ func (f *Framework) balance(window float64) (BalanceReport, error) {
 				if f.rollbackStreak >= DegradedStreak {
 					rep.Outcome = OutcomeDegraded
 				}
+				traceRollback(f.Cfg.Trace, rep.Outcome, rep.FaultDetail)
 				return rep, nil
 			}
 		}
@@ -740,6 +765,7 @@ func (f *Framework) balance(window float64) (BalanceReport, error) {
 	if res.Retries > 0 || res.WindowRetries > 0 {
 		rep.Outcome = OutcomeRetriedCommitted
 	}
+	traceRemapExec(f.Cfg.Trace, "remap.exec", &res)
 	rep.Remap = res
 	rep.RemapPeakWords = res.PeakWords
 	rep.RemapSetups = res.Setups
@@ -786,6 +812,7 @@ func (f *Framework) recoverCrash(rep *BalanceReport, re *par.RemapError) error {
 	rep.Outcome = OutcomeRecovered
 	rep.FaultDetail = re.Error()
 	rep.CrashedRanks = append([]int(nil), re.Crashed...)
+	traceCrash(f.Cfg.Trace, re.Crashed)
 	// The executor already rolled its transaction back; the checkpoint
 	// restore is the audited path, and also recovers the outcome streak
 	// captured before the pass started.
@@ -793,6 +820,7 @@ func (f *Framework) recoverCrash(rep *BalanceReport, re *par.RemapError) error {
 		if st, ok := f.ck.Restore(); ok {
 			f.D.SetOwners(st.Owners)
 			f.rollbackStreak = st.Streak
+			traceCkptRestore(f.Cfg.Trace, st.Cycle)
 		}
 	}
 	f.D.MarkDead(re.Crashed)
@@ -822,6 +850,7 @@ func (f *Framework) recoverCrash(rep *BalanceReport, re *par.RemapError) error {
 	if err != nil {
 		return fmt.Errorf("core: survivor recovery after crash of %v failed: %w", re.Crashed, err)
 	}
+	traceRemapExec(f.Cfg.Trace, "remap.recovery", &res)
 	rep.Recovery = res
 	f.rollbackStreak = 0
 
@@ -887,6 +916,7 @@ func (f *Framework) Cycle(mark func(*adapt.Adaptor)) (CycleReport, error) {
 	// Scope this cycle's fault keys: the adaption exchanges and the remap
 	// payload both draw from the cycle's own schedule.
 	f.D.FaultCycle = f.cycles
+	traceCycleBegin(f.Cfg.Trace, f.cycles)
 	f.cycles++
 	loads := f.Loads()
 	rep.SolverTime = f.Cfg.Cost.SolverTimeIters(slices.Max(loads), f.Cfg.SolverIters)
@@ -895,13 +925,16 @@ func (f *Framework) Cycle(mark func(*adapt.Adaptor)) (CycleReport, error) {
 		// the iterations SolverTime modeled (one knob, see Config).
 		f.S.Iterate(f.Cfg.SolverIters)
 	}
+	traceSolver(f.Cfg.Trace, rep.SolverTime, f.Cfg.SolverIters)
 	mark(f.A)
 	rep.Refine, rep.AdaptTime = f.D.ParallelRefine(f.A, f.Cfg.Model)
 	if f.S != nil {
 		f.S.SyncAfterAdaption()
 	}
+	traceAdapt(f.Cfg.Trace, rep.AdaptTime)
 	bal, err := f.balance(rep.SolverTime)
 	if err != nil {
+		traceCycleError(f.Cfg.Trace, err)
 		return rep, err
 	}
 	bal.AdaptOps = rep.AdaptTime.Ops.Total
@@ -909,6 +942,8 @@ func (f *Framework) Cycle(mark func(*adapt.Adaptor)) (CycleReport, error) {
 	bal.AdaptExecTime = rep.AdaptTime.Ops.Time(f.Cfg.Model)
 	rep.Balance = bal
 	rep.Outcome = bal.Outcome
+	traceCycleEnd(f.Cfg.Trace, rep.Outcome)
+	recordCycleMetrics(f.Cfg.Metrics, f, &rep)
 	return rep, nil
 }
 

@@ -2,7 +2,6 @@ package experiments
 
 import (
 	"fmt"
-	"strings"
 	"time"
 
 	"plum/internal/adapt"
@@ -83,17 +82,16 @@ func RunAdaptTable(workers int, propagator string) *AdaptExecTable {
 
 // String renders the anatomy table.
 func (t *AdaptExecTable) String() string {
-	var b strings.Builder
-	fmt.Fprintf(&b, "Adaption anatomy, Local_2 refinement (SP2 model, propagator=%s, workers=%d)\n",
-		t.Propagator, t.Workers)
-	fmt.Fprintf(&b, "%6s%8s%10s%10s%8s%10s%14s%14s%12s%12s%12s%12s%12s%12s\n",
-		"P", "rounds", "visits", "marked", "msgs", "words", "ops", "crit ops",
+	tb := newTable(fmt.Sprintf("Adaption anatomy, Local_2 refinement (SP2 model, propagator=%s, workers=%d)",
+		t.Propagator, t.Workers))
+	tb.row("P", "rounds", "visits", "marked", "msgs", "words", "ops", "crit ops",
 		"target (s)", "prop (s)", "exec (s)", "class (s)", "total (s)", "host (s)")
 	for _, r := range t.Rows {
-		fmt.Fprintf(&b, "%6d%8d%10d%10d%8d%10d%14d%14d%12.4g%12.4g%12.4g%12.4g%12.4g%12.6f\n",
-			r.P, r.Rounds, r.Visits, r.Marked, r.Msgs, r.Words,
+		tb.row(r.P, r.Rounds, r.Visits, r.Marked, r.Msgs, r.Words,
 			r.Ops.Total, r.Ops.Crit,
-			r.Target, r.Propagate, r.Execute, r.Classify, r.Total, r.HostSeconds)
+			fmt.Sprintf("%.4g", r.Target), fmt.Sprintf("%.4g", r.Propagate),
+			fmt.Sprintf("%.4g", r.Execute), fmt.Sprintf("%.4g", r.Classify),
+			fmt.Sprintf("%.4g", r.Total), fmt.Sprintf("%.6f", r.HostSeconds))
 	}
-	return b.String()
+	return tb.String()
 }

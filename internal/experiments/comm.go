@@ -2,7 +2,6 @@ package experiments
 
 import (
 	"fmt"
-	"strings"
 
 	"plum/internal/machine"
 )
@@ -147,11 +146,10 @@ func RunCommTable(exchange string, nodesize int) *CommTable {
 // marked. The output is byte-stable: CI diffs it across GOMAXPROCS and
 // worker counts.
 func (t *CommTable) String() string {
-	var b strings.Builder
-	b.WriteString("High-P remap exchange sweep: modeled charges of an SFC-neighbor + hypercube flow set\n")
-	b.WriteString("(SP2 interconnect, intra-node 5µs setup / 0.05µs word; setups is the message count)\n")
-	fmt.Fprintf(&b, "%8s%6s  %-13s%10s%9s%12s%12s%12s%12s%12s\n",
-		"P", "node", "exchange", "flows", "setups", "setup (s)", "comm (s)", "words", "intra wds", "inter wds")
+	tb := newTable(
+		"High-P remap exchange sweep: modeled charges of an SFC-neighbor + hypercube flow set",
+		"(SP2 interconnect, intra-node 5µs setup / 0.05µs word; setups is the message count)")
+	tb.row("P", "node", "exchange", "flows", "setups", "setup (s)", "comm (s)", "words", "intra wds", "inter wds", "")
 	for i := 0; i < len(t.Rows); {
 		j := i
 		best := i
@@ -167,11 +165,11 @@ func (t *CommTable) String() string {
 			if k == best && j-i > 1 {
 				mark = " <- min setup"
 			}
-			fmt.Fprintf(&b, "%8d%6d  %-13s%10d%9d%12.4g%12.4g%12d%12d%12d%s\n",
-				r.P, r.RPN, r.Exchange.String(), r.Flows, r.Setups, r.SetupTime, r.CommTime,
+			tb.row(r.P, r.RPN, r.Exchange.String(), r.Flows, r.Setups,
+				fmt.Sprintf("%.4g", r.SetupTime), fmt.Sprintf("%.4g", r.CommTime),
 				r.Words, r.IntraWords, r.InterWords, mark)
 		}
 		i = j
 	}
-	return b.String()
+	return tb.String()
 }

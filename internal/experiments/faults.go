@@ -86,6 +86,7 @@ func RunFaultTable(seed int64, workers int) *FaultTable {
 			cfg.Overlap = true // stream the remap: windows are the commit unit
 			cfg.Faults = &fault.Plan{Seed: seed, Rate: rate}
 			cfg.Retry = fault.Budget(budget)
+			applyObs(&cfg)
 			f, err := core.New(meshgen.Box(8, 8, 8, geom.Vec3{X: 1, Y: 1, Z: 1}), nil, cfg)
 			if err != nil {
 				panic(err)
@@ -135,20 +136,18 @@ func shortOutcome(o core.BalanceOutcome) string {
 
 // String renders the sweep.
 func (t *FaultTable) String() string {
-	var b strings.Builder
-	fmt.Fprintf(&b, "Fault-tolerant balance cycles: outcome sweep (seed %d, P=%d, %d cycles/cell, streaming remap)\n",
-		t.Seed, t.P, faultCycles)
-	fmt.Fprintf(&b, "%6s%8s  %-28s%9s%10s%8s%9s%9s%11s%8s\n",
-		"rate", "budget", "outcomes", "msg rty", "rty wds", "win rty",
+	tb := newTable(fmt.Sprintf("Fault-tolerant balance cycles: outcome sweep (seed %d, P=%d, %d cycles/cell, streaming remap)",
+		t.Seed, t.P, faultCycles))
+	tb.row("rate", "budget", "outcomes", "msg rty", "rty wds", "win rty",
 		"ad rty", "ad bkf", "rty t (s)", "imb")
 	for _, r := range t.Rows {
 		names := make([]string, len(r.Outcomes))
 		for i, o := range r.Outcomes {
 			names[i] = shortOutcome(o)
 		}
-		fmt.Fprintf(&b, "%6.2f%8d  %-28s%9d%10d%8d%9d%9d%11.3g%8.2f\n",
-			r.Rate, r.Budget, strings.Join(names, ","), r.MsgRetries, r.RetryWords,
-			r.WindowRetries, r.AdaptRetries, r.AdaptBackoff, r.RetryTime, r.FinalImbalance)
+		tb.row(fmt.Sprintf("%.2f", r.Rate), r.Budget, strings.Join(names, ","),
+			r.MsgRetries, r.RetryWords, r.WindowRetries, r.AdaptRetries, r.AdaptBackoff,
+			fmt.Sprintf("%.3g", r.RetryTime), fmt.Sprintf("%.2f", r.FinalImbalance))
 	}
-	return b.String()
+	return tb.String()
 }

@@ -1,0 +1,24 @@
+package experiments
+
+import (
+	"plum/internal/core"
+	"plum/internal/obs"
+)
+
+// obsTrace and obsReg are the observability sinks SetObs installs; the
+// cycle-driving runners attach them to every framework they build.
+var (
+	obsTrace *obs.Trace
+	obsReg   *obs.Registry
+)
+
+// SetObs attaches a trace and a metrics registry to the cycle-driving
+// runners (RunFaultTable, RunRecoverTable, RunOverlapTable): every
+// framework they construct records its per-stage spans and counters
+// there, so cmd/experiments can export one combined trace of a whole
+// sweep. Either may be nil; pass both nil to detach. Not safe while a
+// runner is in flight.
+func SetObs(tr *obs.Trace, reg *obs.Registry) { obsTrace, obsReg = tr, reg }
+
+// applyObs attaches the installed sinks to one framework config.
+func applyObs(cfg *core.Config) { cfg.Trace, cfg.Metrics = obsTrace, obsReg }

@@ -2,7 +2,6 @@ package experiments
 
 import (
 	"fmt"
-	"strings"
 
 	"plum/internal/adapt"
 	"plum/internal/core"
@@ -65,6 +64,7 @@ func RunOverlapTable(workers int) *OverlapTable {
 			cfg.Method = partition.MethodHilbertSFC
 			cfg.Workers = w
 			cfg.Overlap = true
+			applyObs(&cfg)
 			f, err := core.New(BaseMesh(), nil, cfg)
 			if err != nil {
 				panic(err)
@@ -99,15 +99,14 @@ func RunOverlapTable(workers int) *OverlapTable {
 
 // String renders the anatomy table.
 func (t *OverlapTable) String() string {
-	var b strings.Builder
-	fmt.Fprintf(&b, "Overlapped cycle anatomy on the Local_2-adapted mesh (Hilbert repartitioner, SP2 model)\n")
-	fmt.Fprintf(&b, "%6s%5s%12s%12s%12s%13s%13s%12s%9s%12s%12s\n",
-		"P", "wk", "solver (s)", "pipe (s)", "redist (s)",
+	tb := newTable("Overlapped cycle anatomy on the Local_2-adapted mesh (Hilbert repartitioner, SP2 model)")
+	tb.row("P", "wk", "solver (s)", "pipe (s)", "redist (s)",
 		"crit bulk", "crit ovlp", "hidden (s)", "speedup", "peak wds", "total wds")
 	for _, r := range t.Rows {
-		fmt.Fprintf(&b, "%6d%5d%12.4g%12.4g%12.4g%13.4g%13.4g%12.4g%9.3f%12d%12d\n",
-			r.P, r.Workers, r.Solver, r.Pipeline, r.Redist,
-			r.CritBulk, r.CritOverlap, r.Hidden, r.Speedup, r.PeakWords, r.TotalWords)
+		tb.row(r.P, r.Workers,
+			fmt.Sprintf("%.4g", r.Solver), fmt.Sprintf("%.4g", r.Pipeline), fmt.Sprintf("%.4g", r.Redist),
+			fmt.Sprintf("%.4g", r.CritBulk), fmt.Sprintf("%.4g", r.CritOverlap), fmt.Sprintf("%.4g", r.Hidden),
+			fmt.Sprintf("%.3f", r.Speedup), r.PeakWords, r.TotalWords)
 	}
-	return b.String()
+	return tb.String()
 }

@@ -3,7 +3,6 @@ package experiments
 import (
 	"fmt"
 	"math"
-	"strings"
 	"time"
 
 	"plum/internal/adapt"
@@ -133,17 +132,15 @@ func (t *PartitionerTable) Row(m partition.Method) PartitionerRow {
 // workers and the critical-path share (equal for the serial graph
 // backends).
 func (t *PartitionerTable) String() string {
-	var b strings.Builder
-	fmt.Fprintf(&b, "Partitioner backends on the Local_2-adapted mesh, k=%d, refiner=%s (host wall time)\n", t.K, t.Refiner)
-	fmt.Fprintf(&b, "%-12s%14s%14s%14s%14s%14s%12s%12s\n",
-		"method", "t_part (s)", "t_incr (s)", "ops", "crit ops", "refine crit", "Wmax/Wavg", "edge cut")
+	tb := newTable(fmt.Sprintf("Partitioner backends on the Local_2-adapted mesh, k=%d, refiner=%s (host wall time)", t.K, t.Refiner))
+	tb.row("method", "t_part (s)", "t_incr (s)", "ops", "crit ops", "refine crit", "Wmax/Wavg", "edge cut")
 	for _, r := range t.Rows {
 		inc := "-"
 		if r.IncrementalSeconds > 0 {
 			inc = fmt.Sprintf("%.6f", r.IncrementalSeconds)
 		}
-		fmt.Fprintf(&b, "%-12s%14.6f%14s%14d%14d%14d%12.4f%12d\n",
-			r.Method, r.PartitionSeconds, inc, r.Ops.Total, r.Ops.Crit, r.Ops.MemCrit, r.Imbalance, r.EdgeCut)
+		tb.row(r.Method, fmt.Sprintf("%.6f", r.PartitionSeconds), inc,
+			r.Ops.Total, r.Ops.Crit, r.Ops.MemCrit, fmt.Sprintf("%.4f", r.Imbalance), r.EdgeCut)
 	}
-	return b.String()
+	return tb.String()
 }

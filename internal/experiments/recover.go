@@ -76,6 +76,7 @@ func RunRecoverTable(seed int64, workers int) *RecoverTable {
 			cfg.Overlap = true // stream the remap: crashes hit the first window
 			cfg.Faults = &fault.Plan{Seed: seed, Rate: rate, Kinds: kinds}
 			cfg.Retry = fault.Budget(3)
+			applyObs(&cfg)
 			f, err := core.New(meshgen.Box(8, 8, 8, geom.Vec3{X: 1, Y: 1, Z: 1}), nil, cfg)
 			if err != nil {
 				panic(err)
@@ -108,11 +109,9 @@ func RunRecoverTable(seed int64, workers int) *RecoverTable {
 
 // String renders the sweep.
 func (t *RecoverTable) String() string {
-	var b strings.Builder
-	fmt.Fprintf(&b, "Rank-crash recovery: outcome sweep (seed %d, P=%d, %d cycles/cell, streaming remap)\n",
-		t.Seed, t.P, recoverCycles)
-	fmt.Fprintf(&b, "%6s%7s  %-40s%-14s%7s%9s%10s%7s%7s%9s%8s\n",
-		"rate", "kinds", "outcomes", "crashed", "alive", "rec mv", "rec wds",
+	tb := newTable(fmt.Sprintf("Rank-crash recovery: outcome sweep (seed %d, P=%d, %d cycles/cell, streaming remap)",
+		t.Seed, t.P, recoverCycles))
+	tb.row("rate", "kinds", "outcomes", "crashed", "alive", "rec mv", "rec wds",
 		"ckpt", "rst", "dlt wds", "imb")
 	for _, r := range t.Rows {
 		names := make([]string, len(r.Outcomes))
@@ -127,9 +126,9 @@ func (t *RecoverTable) String() string {
 		if len(r.Crashed) > 0 {
 			crashed = strings.Trim(strings.Join(strings.Fields(fmt.Sprint(r.Crashed)), ","), "[]")
 		}
-		fmt.Fprintf(&b, "%6.2f%7s  %-40s%-14s%7d%9d%10d%7d%7d%9d%8.2f\n",
-			r.Rate, kinds, strings.Join(names, ","), crashed, r.Alive,
-			r.RecMoved, r.RecWords, r.Captures, r.Restores, r.DeltaWords, r.FinalImbalance)
+		tb.row(fmt.Sprintf("%.2f", r.Rate), kinds, strings.Join(names, ","), crashed, r.Alive,
+			r.RecMoved, r.RecWords, r.Captures, r.Restores, r.DeltaWords,
+			fmt.Sprintf("%.2f", r.FinalImbalance))
 	}
-	return b.String()
+	return tb.String()
 }

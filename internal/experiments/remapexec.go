@@ -2,7 +2,6 @@ package experiments
 
 import (
 	"fmt"
-	"strings"
 
 	"plum/internal/adapt"
 	"plum/internal/dual"
@@ -97,15 +96,14 @@ func RunRemapExecTable(workers int) *RemapExecTable {
 
 // String renders the anatomy table.
 func (t *RemapExecTable) String() string {
-	var b strings.Builder
-	fmt.Fprintf(&b, "Remap execution anatomy on the Local_2-adapted mesh (SP2 model, workers=%d)\n", t.Workers)
-	fmt.Fprintf(&b, "%6s%12s%8s%14s%14s%14s%12s%12s%12s%12s%14s\n",
-		"P", "moved", "sets", "words", "ops", "crit ops",
+	tb := newTable(fmt.Sprintf("Remap execution anatomy on the Local_2-adapted mesh (SP2 model, workers=%d)", t.Workers))
+	tb.row("P", "moved", "sets", "words", "ops", "crit ops",
 		"pack (s)", "comm (s)", "rebuild (s)", "total (s)", "host (s)")
 	for _, r := range t.Rows {
-		fmt.Fprintf(&b, "%6d%12d%8d%14d%14d%14d%12.4g%12.4g%12.4g%12.4g%14.6f\n",
-			r.P, r.Moved, r.Sets, r.WordsMoved, r.Ops.Total, r.Ops.Crit,
-			r.PackTime, r.CommTime, r.RebuildTime, r.Total, r.HostSeconds)
+		tb.row(r.P, r.Moved, r.Sets, r.WordsMoved, r.Ops.Total, r.Ops.Crit,
+			fmt.Sprintf("%.4g", r.PackTime), fmt.Sprintf("%.4g", r.CommTime),
+			fmt.Sprintf("%.4g", r.RebuildTime), fmt.Sprintf("%.4g", r.Total),
+			fmt.Sprintf("%.6f", r.HostSeconds))
 	}
-	return b.String()
+	return tb.String()
 }

@@ -1,0 +1,45 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"text/tabwriter"
+)
+
+// table renders one experiment table — title lines, then a header row
+// and data rows through a single right-aligned tabwriter — so every
+// -exp table shares one layout engine and the text and JSON outputs
+// share the same row structs (the runners return the structs; String
+// feeds them here, the -json twin marshals them directly).
+type table struct {
+	b strings.Builder
+	w *tabwriter.Writer
+}
+
+// newTable starts a table with the given title lines.
+func newTable(titles ...string) *table {
+	t := &table{}
+	for _, s := range titles {
+		t.b.WriteString(s)
+		t.b.WriteByte('\n')
+	}
+	t.w = tabwriter.NewWriter(&t.b, 4, 0, 2, ' ', tabwriter.AlignRight)
+	return t
+}
+
+// row appends one row. Cells are rendered with fmt.Sprint; pass
+// fmt.Sprintf results where a specific precision matters.
+func (t *table) row(cells ...any) {
+	parts := make([]string, len(cells))
+	for i, c := range cells {
+		parts[i] = fmt.Sprint(c)
+	}
+	fmt.Fprintln(t.w, strings.Join(parts, "\t")+"\t")
+}
+
+// String flushes the writer and returns the rendered table. Purely a
+// function of the appended rows, so repeated renders are byte-stable.
+func (t *table) String() string {
+	t.w.Flush()
+	return t.b.String()
+}

@@ -24,6 +24,7 @@ import (
 	"plum/internal/fault"
 	"plum/internal/machine"
 	"plum/internal/mesh"
+	"plum/internal/obs"
 	"plum/internal/partition"
 	"plum/internal/propagate"
 )
@@ -87,6 +88,15 @@ type Dist struct {
 	// process. Zero disables the watchdog (the deterministic default —
 	// wall-clock deadlines are inherently timing-dependent).
 	StageDeadline time.Duration
+
+	// Trace records per-rank remap spans and streaming-window events on
+	// the modeled timeline (internal/obs). nil disables tracing; every
+	// emission site guards on the nil explicitly, so the disabled path
+	// costs one pointer compare and zero allocations. Emission happens
+	// only from serial canonical-order code — never inside the chunked
+	// worker loops — and records only worker-invariant quantities, so
+	// traces are byte-identical at any worker count.
+	Trace *obs.Trace
 
 	// dead marks ranks lost to crash recovery; nil until the first crash.
 	// A dead rank owns no elements, sends no messages, and is excluded

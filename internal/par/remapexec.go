@@ -7,6 +7,7 @@ import (
 	"plum/internal/comm"
 	"plum/internal/fault"
 	"plum/internal/machine"
+	"plum/internal/obs"
 )
 
 // RemapResult reports one executed data remapping.
@@ -360,6 +361,31 @@ func (d *Dist) accountRemap(flowStart []int64, mdl machine.Model, res *RemapResu
 	clk.Barrier()
 	res.RebuildTime = clk.Elapsed() - res.CommTime - res.PackTime
 	res.Total = clk.Elapsed()
+
+	if d.Trace != nil {
+		d.traceRemapRanks(mdl, res, sendWords, sendT, recvWords, recvElems)
+	}
+}
+
+// traceRemapRanks emits the executed remap's per-rank spans on the
+// modeled timeline, based at the trace cursor (the caller advances the
+// cursor past res.Total afterwards). It runs serially after the chunked
+// accounting loops over per-rank arrays whose values are bit-identical
+// at every worker count, so emission order and span contents are
+// canonical. The send span covers a rank's pack + wire charges of the
+// send superstep; the rebuild span starts at the superstep barrier
+// (pack + comm elapsed) and covers the rank's unpack/rebuild charge.
+func (d *Dist) traceRemapRanks(mdl machine.Model, res *RemapResult, sendWords []int64, sendT []float64, recvWords, recvElems []int64) {
+	base := d.Trace.Now()
+	rebuildAt := base + res.PackTime + res.CommTime
+	for r := 0; r < d.P; r++ {
+		if sendT[r] > 0 {
+			d.Trace.Span(int32(r), "remap.send", base, sendT[r], obs.Int("words", sendWords[r]))
+		}
+		if dur := float64(recvWords[r])*mdl.UnpackWord + float64(recvElems[r])*mdl.RebuildElem; dur > 0 {
+			d.Trace.Span(int32(r), "remap.rebuild", rebuildAt, dur, obs.Int("elems", recvElems[r]))
+		}
+	}
 }
 
 // flowsFromStart converts the canonical flow table into the sparse

@@ -6,6 +6,7 @@ import (
 	"plum/internal/comm"
 	"plum/internal/fault"
 	"plum/internal/machine"
+	"plum/internal/obs"
 )
 
 // The streaming remap executor. The bulk-synchronous ExecuteRemap
@@ -160,6 +161,10 @@ func (d *Dist) ExecuteRemapStreaming(newOwner []int32, mdl machine.Model) (Remap
 			if err := exchangeWindow(w, d.Exchange, mdl.Topo, plan, false, recvCount, nil, nil); err != nil {
 				return RemapResult{}, remapErrFrom(err, wi, 1)
 			}
+			if d.Trace != nil {
+				d.Trace.Event("info", "remap.window",
+					obs.Int("window", int64(wi)), obs.Int("flows", int64(win.f1-win.f0)), obs.Int("words", words))
+			}
 			continue
 		}
 
@@ -194,6 +199,10 @@ func (d *Dist) ExecuteRemapStreaming(newOwner []int32, mdl machine.Model) (Remap
 					Detail: fmt.Sprintf("%d transfers failed after %d attempts per message", nfail, retry.MsgAttempts)})
 			}
 			res.WindowRetries++
+			if d.Trace != nil {
+				d.Trace.Event("warn", "remap.window.retry",
+					obs.Int("window", int64(wi)), obs.Int("failed", nfail), obs.Int("try", int64(tries)))
+			}
 		}
 		// Commit the window: every element in its flows now belongs to the
 		// flow's destination rank. Writes are idempotent per dual vertex
@@ -204,6 +213,12 @@ func (d *Dist) ExecuteRemapStreaming(newOwner []int32, mdl machine.Model) (Remap
 			for _, ei := range fi.elems[fi.flowStart[f]:fi.flowStart[f+1]] {
 				d.owner[d.rootDual[m.Elems[ei].Root]] = dst
 			}
+		}
+		if d.Trace != nil {
+			// The serial window loop is canonical order by construction:
+			// one commit event per transactional window, in plan order.
+			d.Trace.Event("info", "remap.window.commit",
+				obs.Int("window", int64(wi)), obs.Int("flows", int64(win.f1-win.f0)), obs.Int("words", words))
 		}
 	}
 	var recvTotal int64
